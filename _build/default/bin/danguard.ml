@@ -1,0 +1,383 @@
+(* danguard: command-line front end to the reproduction.
+
+   Subcommands:
+     table <1|2|3>   regenerate a paper table
+     addr-space      the §4.3 per-connection address-space study
+     detect          the detection-guarantee matrix
+     exhaustion      the §3.4 analytic model
+     run             run one workload under one scheme and print stats
+     compile         run the MiniC pipeline on a source file
+     demo            a 30-second tour of the detector *)
+
+open Cmdliner
+
+let scheme_names =
+  [
+    ("native", Harness.Experiment.Native);
+    ("llvm", Harness.Experiment.Llvm_base);
+    ("pa", Harness.Experiment.Pa);
+    ("pa-dummy", Harness.Experiment.Pa_dummy);
+    ("ours", Harness.Experiment.Ours);
+    ("ours-basic", Harness.Experiment.Ours_basic);
+    ("ours-bounds", Harness.Experiment.Ours_spatial);
+    ("efence", Harness.Experiment.Efence);
+    ("valgrind", Harness.Experiment.Valgrind);
+    ("capability", Harness.Experiment.Capability);
+  ]
+
+let config_arg =
+  let doc =
+    Printf.sprintf "Protection scheme: %s."
+      (String.concat ", " (List.map fst scheme_names))
+  in
+  Arg.(
+    value
+    & opt (enum scheme_names) Harness.Experiment.Ours
+    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let scale_divisor_arg =
+  let doc = "Divide workload sizes by this factor (quick runs)." in
+  Arg.(value & opt int 1 & info [ "d"; "scale-divisor" ] ~docv:"N" ~doc)
+
+(* ---- table ---- *)
+
+let table_cmd =
+  let which =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"TABLE"
+           ~doc:"Table number (1, 2 or 3).")
+  in
+  let run which divisor =
+    match which with
+    | 1 ->
+      print_endline
+        (Harness.Table1.render (Harness.Table1.rows ~scale_divisor:divisor ()));
+      `Ok ()
+    | 2 ->
+      print_endline
+        (Harness.Table2.render (Harness.Table2.rows ~scale_divisor:divisor ()));
+      `Ok ()
+    | 3 ->
+      print_endline
+        (Harness.Table3.render (Harness.Table3.rows ~scale_divisor:divisor ()));
+      `Ok ()
+    | n -> `Error (false, Printf.sprintf "no table %d (expected 1, 2 or 3)" n)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate a table from the paper's evaluation.")
+    Term.(ret (const run $ which $ scale_divisor_arg))
+
+(* ---- addr-space ---- *)
+
+let addr_space_cmd =
+  let connections =
+    Arg.(value & opt (some int) None
+         & info [ "c"; "connections" ] ~docv:"N" ~doc:"Connections per server.")
+  in
+  let run connections =
+    print_endline (Harness.Addr_space.render (Harness.Addr_space.rows ?connections ()))
+  in
+  Cmd.v
+    (Cmd.info "addr-space"
+       ~doc:"Per-connection virtual-address usage of the five servers (§4.3).")
+    Term.(const run $ connections)
+
+(* ---- detect ---- *)
+
+let detect_cmd =
+  let run () =
+    let cells = Harness.Detection_matrix.run () in
+    print_endline (Harness.Detection_matrix.render cells);
+    print_endline "";
+    List.iter
+      (fun (c : Harness.Detection_matrix.cell) ->
+        match c.Harness.Detection_matrix.outcome with
+        | Workload.Fault_injection.Detected r ->
+          Printf.printf "%-24s %-22s %s\n"
+            (Harness.Experiment.config_label c.Harness.Detection_matrix.config)
+            c.Harness.Detection_matrix.scenario
+            (Shadow.Report.to_string r)
+        | Workload.Fault_injection.Silent _ | Workload.Fault_injection.Crashed _
+          ->
+          ())
+      cells
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Run every injected temporal-error scenario under every scheme.")
+    Term.(const run $ const ())
+
+(* ---- exhaustion ---- *)
+
+let exhaustion_cmd =
+  let allocs_per_sec =
+    Arg.(value & opt float 1e6
+         & info [ "allocs-per-sec" ] ~docv:"R" ~doc:"Allocation rate.")
+  in
+  let va_bits =
+    Arg.(value & opt int 47 & info [ "va-bits" ] ~docv:"B"
+           ~doc:"User address-space bits.")
+  in
+  let run rate bits =
+    Printf.printf
+      "with 2^%d bytes of address space, 4K pages and %.0f allocations/s:\n\
+       %.2f hours until virtual addresses run out with no reuse at all\n"
+      bits rate
+      (Shadow.Exhaustion.hours_until_exhaustion
+         ~va_bytes:(2. ** float_of_int bits)
+         ~page_bytes:4096 ~pages_per_second:rate)
+  in
+  Cmd.v
+    (Cmd.info "exhaustion" ~doc:"The §3.4 address-space exhaustion model.")
+    Term.(const run $ allocs_per_sec $ va_bits)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let workload_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workload name (see $(b,danguard list)).")
+  in
+  let scale =
+    Arg.(value & opt (some int) None
+         & info [ "scale" ] ~docv:"N" ~doc:"Override the workload scale.")
+  in
+  let run name config scale =
+    match Workload.Catalog.find_batch name with
+    | Some batch ->
+      let r = Harness.Experiment.run_batch ?scale batch config in
+      Printf.printf "%s under %s:\n  cycles: %sM\n  peak frames: %d\n  VA: %s\n  checker memory: %s\n"
+        name
+        (Harness.Experiment.config_label config)
+        (Harness.Table.fmt_cycles r.Harness.Experiment.cycles)
+        r.Harness.Experiment.peak_frames
+        (Harness.Table.fmt_bytes r.Harness.Experiment.va_bytes)
+        (Harness.Table.fmt_bytes r.Harness.Experiment.extra_memory_bytes);
+      Printf.printf "  %s\n"
+        (Format.asprintf "%a" Vmm.Stats.pp r.Harness.Experiment.stats);
+      `Ok ()
+    | None ->
+      (match Workload.Catalog.find_server name with
+       | Some server ->
+         let r = Harness.Experiment.run_server server config in
+         Printf.printf
+           "%s under %s: %d connections, mean %sM cycles/connection, max VA %s\n"
+           name
+           (Harness.Experiment.config_label config)
+           r.Runtime.Process.connections
+           (Harness.Table.fmt_cycles r.Runtime.Process.mean_cycles_per_connection)
+           (Harness.Table.fmt_bytes r.Runtime.Process.max_va_bytes_per_connection);
+         `Ok ()
+       | None -> `Error (false, "unknown workload " ^ name))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one scheme and print stats.")
+    Term.(ret (const run $ workload_name $ config_arg $ scale))
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    print_endline "utilities:";
+    List.iter
+      (fun (b : Workload.Spec.batch) ->
+        Printf.printf "  %-10s %s\n" b.Workload.Spec.name
+          b.Workload.Spec.description)
+      Workload.Catalog.utilities;
+    print_endline "olden:";
+    List.iter
+      (fun (b : Workload.Spec.batch) ->
+        Printf.printf "  %-10s %s\n" b.Workload.Spec.name
+          b.Workload.Spec.description)
+      Workload.Catalog.olden;
+    print_endline "servers:";
+    List.iter
+      (fun (s : Workload.Spec.server) ->
+        Printf.printf "  %-10s %s\n" s.Workload.Spec.s_name
+          s.Workload.Spec.s_description)
+      Workload.Catalog.servers
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all workloads.") Term.(const run $ const ())
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.mc" ~doc:"MiniC source file.")
+  in
+  let emit =
+    Arg.(value & flag
+         & info [ "emit" ] ~doc:"Print the pool-transformed program.")
+  in
+  let execute =
+    Arg.(value & flag & info [ "run" ] ~doc:"Run the transformed program.")
+  in
+  let run file emit execute config =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Minic.Parser.parse source with
+    | exception Minic.Parser.Parse_error { line; message } ->
+      `Error (false, Printf.sprintf "%s:%d: %s" file line message)
+    | exception Minic.Lexer.Lex_error { line; message } ->
+      `Error (false, Printf.sprintf "%s:%d: %s" file line message)
+    | program ->
+      (match Minic.Pool_transform.transform program with
+       | exception Minic.Typecheck.Type_error msg -> `Error (false, msg)
+       | exception Minic.Pool_transform.Transform_error msg ->
+         `Error (false, msg)
+       | transformed, summary ->
+         Printf.printf "pools inferred (%d sites, %d frees rewritten):\n"
+           summary.Minic.Pool_transform.sites_rewritten
+           summary.Minic.Pool_transform.frees_rewritten;
+         List.iter
+           (fun (d : Minic.Pool_transform.pool_desc) ->
+             Printf.printf "  %-10s owner=%-12s struct=%-8s %s\n"
+               d.Minic.Pool_transform.pool_var d.Minic.Pool_transform.owner
+               (Option.value ~default:"?" d.Minic.Pool_transform.struct_name)
+               (if d.Minic.Pool_transform.global then "(global, long-lived)"
+                else ""))
+           summary.Minic.Pool_transform.pools;
+         if emit then begin
+           print_endline "";
+           print_endline (Minic.Pretty.program_to_string transformed)
+         end;
+         if execute then begin
+           let scheme = Harness.Experiment.make_scheme config () in
+           match Minic.Interp.run transformed scheme with
+           | outcome ->
+             List.iter (Printf.printf "print: %d\n") outcome.Minic.Interp.prints;
+             Printf.printf "steps: %d, cycles: %sM\n" outcome.Minic.Interp.steps
+               (Harness.Table.fmt_cycles
+                  (Runtime.Scheme.cycles scheme))
+           | exception Shadow.Report.Violation r ->
+             Printf.printf "TEMPORAL ERROR DETECTED: %s\n"
+               (Shadow.Report.to_string r)
+         end;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Parse, pool-transform and optionally run a MiniC program.")
+    Term.(ret (const run $ file $ emit $ execute $ config_arg))
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let record_workload =
+    Arg.(value & opt (some string) None
+         & info [ "record" ] ~docv:"WORKLOAD"
+             ~doc:"Record the named workload's heap trace to stdout.")
+  in
+  let record_scale =
+    Arg.(value & opt (some int) None
+         & info [ "record-scale" ] ~docv:"N"
+             ~doc:"Scale for --record (default: the workload's).")
+  in
+  let gen_length =
+    Arg.(value & opt (some int) None
+         & info [ "generate" ] ~docv:"N"
+             ~doc:"Generate a random N-event trace to stdout instead of \
+                   replaying one.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"Trace file to replay.")
+  in
+  let run record_workload record_scale gen_length seed file config =
+    match record_workload, gen_length, file with
+    | Some name, _, _ ->
+      (match Workload.Catalog.find_batch name with
+       | None -> `Error (false, "unknown workload " ^ name)
+       | Some batch ->
+         let wrapper, get_trace =
+           Workload.Trace.record
+             (Runtime.Schemes.native (Vmm.Machine.create ()))
+         in
+         let scale =
+           Option.value record_scale
+             ~default:batch.Workload.Spec.default_scale
+         in
+         batch.Workload.Spec.run wrapper ~scale;
+         print_string (Workload.Trace.to_string (get_trace ()));
+         `Ok ())
+    | None, Some length, _ ->
+      print_string
+        (Workload.Trace.to_string (Workload.Trace.generate ~seed ~length ()));
+      `Ok ()
+    | None, None, Some path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      (match Workload.Trace.of_string text with
+       | Error e -> `Error (false, e)
+       | Ok trace ->
+         let scheme = Harness.Experiment.make_scheme config () in
+         let result = Workload.Trace.replay trace scheme in
+         Printf.printf
+           "replayed %d events under %s: %d reads, %d violations, %sM cycles\n"
+           (Workload.Trace.length trace)
+           (Harness.Experiment.config_label config)
+           (List.length result.Workload.Trace.reads)
+           result.Workload.Trace.violations
+           (Harness.Table.fmt_cycles (Runtime.Scheme.cycles scheme));
+         `Ok ())
+    | None, None, None ->
+      `Error (true, "provide a trace file to replay, --generate N, or --record W")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Generate, record or replay scheme-independent allocation traces.")
+    Term.(
+      ret
+        (const run $ record_workload $ record_scale $ gen_length $ seed $ file
+         $ config_arg))
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let run () =
+    print_endline "1. allocate and use an object under the full scheme:";
+    let m = Vmm.Machine.create () in
+    let scheme = Runtime.Schemes.shadow_pool m in
+    let p = scheme.Runtime.Scheme.malloc ~site:"demo.c:12" 48 in
+    scheme.Runtime.Scheme.store p ~width:8 42;
+    Printf.printf "   p = %s, *p = %d\n"
+      (Format.asprintf "%a" Vmm.Addr.pp p)
+      (scheme.Runtime.Scheme.load p ~width:8);
+    print_endline "2. free it:";
+    scheme.Runtime.Scheme.free ~site:"demo.c:19" p;
+    print_endline "   freed; physical page already reusable by the allocator";
+    print_endline "3. use the dangling pointer:";
+    (match scheme.Runtime.Scheme.load p ~width:8 with
+     | v -> Printf.printf "   BUG: read %d\n" v
+     | exception Shadow.Report.Violation r ->
+       Printf.printf "   trapped by the MMU -> %s\n" (Shadow.Report.to_string r));
+    print_endline "4. double-free it:";
+    (match scheme.Runtime.Scheme.free ~site:"demo.c:31" p with
+     | () -> print_endline "   BUG: not detected"
+     | exception Shadow.Report.Violation r ->
+       Printf.printf "   trapped by the MMU -> %s\n" (Shadow.Report.to_string r));
+    Printf.printf
+      "5. cost so far: %.0f simulated cycles, %d syscalls, %d physical pages\n"
+      (Vmm.Machine.cycles m)
+      (Vmm.Stats.total_syscalls (Vmm.Stats.snapshot m.Vmm.Machine.stats))
+      (Vmm.Frame_table.live_frames m.Vmm.Machine.frames)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"A 30-second tour of the dangling-pointer detector.")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc =
+    "MMU-based detection of all dangling pointer uses (Dhurjati & Adve, \
+     DSN 2006) on a simulated machine"
+  in
+  Cmd.group
+    (Cmd.info "danguard" ~version:"1.0.0" ~doc)
+    [
+      table_cmd; addr_space_cmd; detect_cmd; exhaustion_cmd; run_cmd; list_cmd;
+      compile_cmd; trace_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

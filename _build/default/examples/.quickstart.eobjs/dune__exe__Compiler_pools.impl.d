@@ -1,0 +1,1 @@
+examples/compiler_pools.ml: Harness List Minic Printf Runtime Shadow String Vmm

@@ -1,0 +1,1 @@
+examples/debug_session.ml: Array Harness Option Printf Runtime Shadow Vmm

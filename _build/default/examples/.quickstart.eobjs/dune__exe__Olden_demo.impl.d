@@ -1,0 +1,1 @@
+examples/olden_demo.ml: Array Harness List Printf Sys Vmm Workload

@@ -1,0 +1,1 @@
+examples/olden_demo.mli:

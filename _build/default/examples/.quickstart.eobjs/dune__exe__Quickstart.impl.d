@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Runtime Shadow Vmm

@@ -1,0 +1,1 @@
+examples/server_guard.ml: Harness List Printf Runtime Shadow Vmm

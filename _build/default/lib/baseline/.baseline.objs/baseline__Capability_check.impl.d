@@ -1,0 +1,1 @@
+lib/baseline/capability_check.ml: Addr Hashtbl Heap Lazy Machine Mmu Option Perm Runtime Shadow Stats Vmm

@@ -1,0 +1,1 @@
+lib/baseline/capability_check.mli: Runtime Vmm

@@ -1,0 +1,1 @@
+lib/baseline/efence.ml: Addr Kernel Lazy Machine Mmu Perm Runtime Shadow Stats Vmm

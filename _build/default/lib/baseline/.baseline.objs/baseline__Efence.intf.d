@@ -1,0 +1,1 @@
+lib/baseline/efence.mli: Runtime Vmm

@@ -1,0 +1,1 @@
+lib/baseline/valgrind_sim.ml: Addr Hashtbl Heap Lazy List Machine Mmu Option Perm Queue Runtime Shadow Stats Vmm

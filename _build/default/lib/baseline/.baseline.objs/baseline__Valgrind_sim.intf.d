@@ -1,0 +1,1 @@
+lib/baseline/valgrind_sim.mli: Runtime Vmm

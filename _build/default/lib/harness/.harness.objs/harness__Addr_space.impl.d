@@ -1,0 +1,1 @@
+lib/harness/addr_space.ml: Apa Experiment List Option Printf Runtime Shadow Table Vmm Workload

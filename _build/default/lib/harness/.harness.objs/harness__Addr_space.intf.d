@@ -1,0 +1,1 @@
+lib/harness/addr_space.mli: Workload

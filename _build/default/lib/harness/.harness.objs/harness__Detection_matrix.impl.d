@@ -1,0 +1,1 @@
+lib/harness/detection_matrix.ml: Experiment List Table Workload

@@ -1,0 +1,1 @@
+lib/harness/detection_matrix.mli: Experiment Workload

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Baseline Option Runtime Vmm Workload

@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Experiment List Runtime Table Workload

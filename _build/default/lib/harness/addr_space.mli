@@ -1,0 +1,24 @@
+(** §4.3 of the paper: virtual-address-space usage within individual
+    server connections under the full scheme.
+
+    Because every server forks per connection, wastage never outlives a
+    connection; the interesting number is the shadow pages retained by
+    {e global} pools at the moment the child exits — the paper reports
+    ~0 pages/connection for ghttpd, 5–6 pages per ftp command, and 45
+    pages per telnet session. *)
+
+type row = {
+  name : string;
+  connections : int;
+  wasted_pages_per_connection : float;
+      (** shadow pages still held by the global pool at child exit *)
+  recycled_pages_per_connection : float;
+      (** pages returned to the free list by pool destroys within the
+          connection (e.g. ftpd's fb_realpath pool) *)
+  va_bytes_per_connection : int;
+  note : string;
+}
+
+val measure : ?connections:int -> Workload.Spec.server -> row
+val rows : ?connections:int -> unit -> row list
+val render : row list -> string

@@ -1,0 +1,90 @@
+type config =
+  | Native
+  | Llvm_base
+  | Pa
+  | Pa_dummy
+  | Ours
+  | Ours_basic
+  | Ours_spatial
+  | Efence
+  | Valgrind
+  | Capability
+
+type result = {
+  cycles : float;
+  stats : Vmm.Stats.snapshot;
+  peak_frames : int;
+  va_bytes : int;
+  extra_memory_bytes : int;
+}
+
+let config_label = function
+  | Native -> "native"
+  | Llvm_base -> "llvm-base"
+  | Pa -> "pa"
+  | Pa_dummy -> "pa+dummy-syscalls"
+  | Ours -> "our-approach"
+  | Ours_basic -> "our-approach (no pools)"
+  | Ours_spatial -> "ours+bounds"
+  | Efence -> "electric-fence"
+  | Valgrind -> "valgrind-sim"
+  | Capability -> "capability"
+
+let all_configs =
+  [
+    Native; Llvm_base; Pa; Pa_dummy; Ours; Ours_basic; Ours_spatial; Efence;
+    Valgrind; Capability;
+  ]
+
+let cost_profile config ~pa_quality_gain =
+  match config with
+  | Native -> Vmm.Cost_model.native
+  | Llvm_base | Efence | Valgrind | Capability | Ours_basic | Ours_spatial ->
+    Vmm.Cost_model.llvm_base
+  | Pa | Pa_dummy | Ours ->
+    (* Pool allocation changes data layout; the per-workload gain factor
+       scales the compiled work (paper: gzip speeds up under PA). *)
+    let base = Vmm.Cost_model.llvm_base in
+    Vmm.Cost_model.with_code_quality base
+      (base.Vmm.Cost_model.code_quality *. pa_quality_gain)
+
+let make_scheme config ?(pa_quality_gain = 1.0) () =
+  let machine =
+    Vmm.Machine.create ~cost:(cost_profile config ~pa_quality_gain) ()
+  in
+  match config with
+  | Native | Llvm_base -> Runtime.Schemes.native machine
+  | Pa -> Runtime.Schemes.pa machine
+  | Pa_dummy -> Runtime.Schemes.pa ~dummy_syscalls:true machine
+  | Ours -> Runtime.Schemes.shadow_pool machine
+  | Ours_basic -> Runtime.Schemes.shadow_basic machine
+  | Ours_spatial -> Runtime.Schemes.shadow_pool_spatial machine
+  | Efence -> Baseline.Efence.scheme machine
+  | Valgrind -> Baseline.Valgrind_sim.scheme machine
+  | Capability -> Baseline.Capability_check.scheme machine
+
+let harvest (scheme : Runtime.Scheme.t) =
+  let machine = scheme.Runtime.Scheme.machine in
+  {
+    cycles = Vmm.Machine.cycles machine;
+    stats = Vmm.Stats.snapshot machine.Vmm.Machine.stats;
+    peak_frames = Vmm.Frame_table.peak_frames machine.Vmm.Machine.frames;
+    va_bytes = Vmm.Machine.va_bytes_used machine;
+    extra_memory_bytes = scheme.Runtime.Scheme.extra_memory_bytes ();
+  }
+
+let run_batch ?scale (batch : Workload.Spec.batch) config =
+  let scale = Option.value scale ~default:batch.Workload.Spec.default_scale in
+  let scheme =
+    make_scheme config ~pa_quality_gain:batch.Workload.Spec.pa_quality_gain ()
+  in
+  batch.Workload.Spec.run scheme ~scale;
+  harvest scheme
+
+let run_server ?connections (server : Workload.Spec.server) config =
+  let connections =
+    Option.value connections ~default:server.Workload.Spec.s_default_connections
+  in
+  Runtime.Process.serve
+    ~make_scheme:(fun () -> make_scheme config ())
+    ~handler:server.Workload.Spec.handler ~connections

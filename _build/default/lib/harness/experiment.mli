@@ -1,0 +1,53 @@
+(** Running a workload under a named configuration and harvesting the
+    numbers the paper's tables report.
+
+    A configuration picks both the cost-model profile (native GCC vs
+    LLVM-base code quality) and the protection scheme, mirroring the
+    columns of Tables 1 and 3:
+
+    - [Native]: GCC -O3, plain allocator.
+    - [Llvm_base]: LLVM C back-end baseline — the denominator of Ratio 1.
+    - [Pa]: pool allocation alone (applies the workload's locality gain).
+    - [Pa_dummy]: pools + one no-op syscall per alloc and free.
+    - [Ours]: the full shadow-page + pool scheme.
+    - [Ours_basic]: shadow pages without pools (binary-only mode).
+    - [Ours_spatial]: the future-work combination — shadow pages plus
+      software bounds checks (spatial + temporal).
+    - [Efence], [Valgrind], [Capability]: the related-work baselines. *)
+
+type config =
+  | Native
+  | Llvm_base
+  | Pa
+  | Pa_dummy
+  | Ours
+  | Ours_basic
+  | Ours_spatial
+  | Efence
+  | Valgrind
+  | Capability
+
+type result = {
+  cycles : float;
+  stats : Vmm.Stats.snapshot;
+  peak_frames : int;
+  va_bytes : int;
+  extra_memory_bytes : int;
+}
+
+val config_label : config -> string
+val all_configs : config list
+
+val make_scheme :
+  config -> ?pa_quality_gain:float -> unit -> Runtime.Scheme.t
+(** Fresh machine (with the config's cost profile) plus scheme.
+    [pa_quality_gain] adjusts code quality under the pool-based configs
+    only, modeling APA's locality effect on that workload. *)
+
+val run_batch : ?scale:int -> Workload.Spec.batch -> config -> result
+(** Run a utility/Olden workload to completion under a fresh machine. *)
+
+val run_server :
+  ?connections:int -> Workload.Spec.server -> config -> Runtime.Process.server_run
+(** Serve N forked connections; the per-connection response time is the
+    server metric (paper §4.1 measures client response time). *)

@@ -1,0 +1,82 @@
+type distribution = {
+  config : Experiment.config;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  mean : float;
+}
+
+(* Heavy-tailed request sizes: mostly small pages, occasional large
+   downloads (the classic web-server distribution). *)
+let request_blocks rng =
+  match Workload.Prng.below rng 100 with
+  | n when n < 70 -> 1 + Workload.Prng.below rng 4 (* small page *)
+  | n when n < 95 -> 8 + Workload.Prng.below rng 24 (* asset *)
+  | _ -> 64 + Workload.Prng.below rng 192 (* large download *)
+
+let handler blocks _conn (scheme : Runtime.Scheme.t) =
+  let req = scheme.Runtime.Scheme.malloc ~site:"latency:request" 512 in
+  Runtime.Workload_api.fill_words scheme req ~words:16 ~value:blocks;
+  let buf = scheme.Runtime.Scheme.malloc ~site:"latency:sendbuf" 4096 in
+  for block = 1 to blocks do
+    Runtime.Workload_api.fill_words scheme buf ~words:64 ~value:block;
+    scheme.Runtime.Scheme.compute 40_000
+  done;
+  scheme.Runtime.Scheme.free buf;
+  scheme.Runtime.Scheme.free req
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let measure ?(connections = 120) config =
+  let rng = Workload.Prng.create ~seed:271828 in
+  let samples =
+    Array.init connections (fun conn ->
+        let blocks = request_blocks rng in
+        let result =
+          Runtime.Process.run_connection
+            ~make_scheme:(fun () -> Experiment.make_scheme config ())
+            ~handler:(handler blocks conn)
+        in
+        result.Runtime.Process.cycles)
+  in
+  Array.sort compare samples;
+  let mean =
+    Array.fold_left ( +. ) 0. samples /. float_of_int connections
+  in
+  {
+    config;
+    p50 = percentile samples 0.50;
+    p95 = percentile samples 0.95;
+    p99 = percentile samples 0.99;
+    mean;
+  }
+
+let study ?connections () =
+  List.map
+    (fun config -> measure ?connections config)
+    [ Experiment.Native; Experiment.Llvm_base; Experiment.Ours ]
+
+let render dists =
+  let base =
+    match
+      List.find_opt (fun d -> d.config = Experiment.Llvm_base) dists
+    with
+    | Some d -> d
+    | None -> List.hd dists
+  in
+  let cells d =
+    [
+      Experiment.config_label d.config;
+      Table.fmt_cycles d.p50;
+      Table.fmt_cycles d.p95;
+      Table.fmt_cycles d.p99;
+      Table.fmt_cycles d.mean;
+      Table.fmt_ratio (d.p50 /. base.p50);
+      Table.fmt_ratio (d.p99 /. base.p99);
+    ]
+  in
+  Table.render
+    ~headers:[ "Scheme"; "p50"; "p95"; "p99"; "mean"; "p50 ratio"; "p99 ratio" ]
+    (List.map cells dists)

@@ -1,0 +1,26 @@
+(** Server response-time distributions.
+
+    Table 1 reports mean response time; for a production-server argument
+    the tail matters too.  This study serves a synthetic web workload
+    with heavy-tailed response sizes (file sizes spanning two orders of
+    magnitude) and reports percentiles per configuration.  The scheme's
+    cost is a near-constant few syscalls per connection, so its relative
+    overhead {e shrinks} toward the tail — large requests amortize it —
+    which is exactly why the paper targets servers. *)
+
+type distribution = {
+  config : Experiment.config;
+  p50 : float;   (** median cycles per connection *)
+  p95 : float;
+  p99 : float;
+  mean : float;
+}
+
+val measure :
+  ?connections:int -> Experiment.config -> distribution
+(** Serve [connections] (default 120) heavy-tailed requests. *)
+
+val study : ?connections:int -> unit -> distribution list
+(** Native, LLVM-base and Ours, same request sequence. *)
+
+val render : distribution list -> string

@@ -1,0 +1,51 @@
+type row = {
+  name : string;
+  ours_cycles : float;
+  valgrind_cycles : float;
+  ours_slowdown : float;
+  valgrind_slowdown : float;
+  paper_valgrind_slowdown : float option;
+}
+
+let row ?scale (batch : Workload.Spec.batch) =
+  let cycles config =
+    (Experiment.run_batch ?scale batch config).Experiment.cycles
+  in
+  let base = cycles Experiment.Llvm_base in
+  let ours = cycles Experiment.Ours in
+  let valgrind = cycles Experiment.Valgrind in
+  {
+    name = batch.Workload.Spec.name;
+    ours_cycles = ours;
+    valgrind_cycles = valgrind;
+    ours_slowdown = ours /. base;
+    valgrind_slowdown = valgrind /. base;
+    paper_valgrind_slowdown = batch.Workload.Spec.paper.valgrind_ratio;
+  }
+
+let rows ?(scale_divisor = 1) () =
+  List.map
+    (fun (b : Workload.Spec.batch) ->
+      row ~scale:(max 1 (b.default_scale / scale_divisor)) b)
+    Workload.Catalog.utilities
+
+let render rows =
+  let cells r =
+    [
+      r.name;
+      Table.fmt_cycles r.ours_cycles;
+      Table.fmt_cycles r.valgrind_cycles;
+      Table.fmt_ratio r.ours_slowdown;
+      Table.fmt_ratio r.valgrind_slowdown;
+      (match r.paper_valgrind_slowdown with
+       | Some x -> Table.fmt_ratio x
+       | None -> "-");
+    ]
+  in
+  Table.render
+    ~headers:
+      [
+        "Benchmark"; "ours (Mcy)"; "valgrind (Mcy)"; "our slowdown";
+        "valgrind slowdown"; "paper valgrind";
+      ]
+    (List.map cells rows)

@@ -1,0 +1,16 @@
+(** Table 2 of the paper: our approach vs. a Valgrind-style checker on
+    the four Unix utilities (the servers cannot be run under Valgrind,
+    as the paper notes).  Slowdowns are relative to the LLVM baseline,
+    like Ratio 1. *)
+
+type row = {
+  name : string;
+  ours_cycles : float;
+  valgrind_cycles : float;
+  ours_slowdown : float;
+  valgrind_slowdown : float;
+  paper_valgrind_slowdown : float option;
+}
+
+val rows : ?scale_divisor:int -> unit -> row list
+val render : row list -> string

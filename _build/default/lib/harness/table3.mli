@@ -1,0 +1,17 @@
+(** Table 3 of the paper: overheads on the allocation-intensive Olden
+    benchmarks — the worst case for a per-allocation-syscall scheme.
+    Columns native, LLVM (base), PA + dummy syscalls, our approach, and
+    Ratio 3 (ours / LLVM base). *)
+
+type row = {
+  name : string;
+  native : float;
+  llvm_base : float;
+  pa_dummy : float;
+  ours : float;
+  ratio3 : float;
+  paper_ratio3 : float option;
+}
+
+val rows : ?scale_divisor:int -> unit -> row list
+val render : row list -> string

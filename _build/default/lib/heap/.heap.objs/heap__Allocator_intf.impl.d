@@ -1,0 +1,1 @@
+lib/heap/allocator_intf.ml: Vmm

@@ -1,0 +1,1 @@
+lib/heap/bump_alloc.ml: Addr Allocator_intf Kernel Machine Mmu Vmm

@@ -1,0 +1,1 @@
+lib/heap/bump_alloc.mli: Allocator_intf Vmm

@@ -1,0 +1,1 @@
+lib/heap/freelist_malloc.ml: Addr Allocator_intf Array Fault Hashtbl Kernel Machine Mmu Printf Vmm

@@ -1,0 +1,1 @@
+lib/heap/freelist_malloc.mli: Allocator_intf Vmm

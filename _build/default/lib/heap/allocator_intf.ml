@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  alloc : int -> Vmm.Addr.t;
+  dealloc : Vmm.Addr.t -> unit;
+  size_of : Vmm.Addr.t -> int;
+  live_blocks : unit -> int;
+  live_bytes : unit -> int;
+}

@@ -1,0 +1,21 @@
+(** The interface every heap allocator exposes.
+
+    The paper stresses that the shadow-page scheme works over an
+    {e arbitrary} allocator with no change to the allocation algorithm;
+    {!Shadow.Shadow_heap} consumes exactly this record, and we provide two
+    unrelated implementations ({!Freelist_malloc}, {!Bump_alloc}) to
+    demonstrate the claim. *)
+
+type t = {
+  name : string;
+  alloc : int -> Vmm.Addr.t;
+      (** [alloc size] returns the address of a block of at least [size]
+          usable bytes ([size > 0]). *)
+  dealloc : Vmm.Addr.t -> unit;
+      (** Release a block previously returned by [alloc]. *)
+  size_of : Vmm.Addr.t -> int;
+      (** Usable size of a live block — the paper reads this from the
+          allocator's own header metadata. *)
+  live_blocks : unit -> int;
+  live_bytes : unit -> int;
+}

@@ -1,0 +1,1 @@
+lib/minic/escape.ml: Ast Hashtbl List Option Points_to

@@ -1,0 +1,1 @@
+lib/minic/escape.mli: Ast Points_to

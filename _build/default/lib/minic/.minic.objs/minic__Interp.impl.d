@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Ast Hashtbl List Option Printf Runtime

@@ -1,0 +1,1 @@
+lib/minic/points_to.ml: Ast Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/minic/points_to.mli: Ast

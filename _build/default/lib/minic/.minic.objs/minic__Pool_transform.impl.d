@@ -1,0 +1,1 @@
+lib/minic/pool_transform.ml: Ast Escape Hashtbl Int List Option Points_to Printf Set String Typecheck

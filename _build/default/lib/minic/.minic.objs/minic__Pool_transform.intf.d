@@ -1,0 +1,1 @@
+lib/minic/pool_transform.mli: Ast Points_to

@@ -1,0 +1,85 @@
+(** Abstract syntax for MiniC, the C-like language the Automatic Pool
+    Allocation transform operates on.
+
+    The surface language (see {!Parser}) has structs, pointers, ints,
+    functions, [malloc]/[free] and the usual control flow.  The pool
+    constructors ([Pool_init] … [Pool_free]) never appear in parsed
+    programs; {!Pool_transform} introduces them, exactly as the paper's
+    compiler rewrites [malloc]/[free] into [poolalloc]/[poolfree] against
+    inserted or inherited pool descriptors. *)
+
+type typ =
+  | Tint
+  | Tptr of string  (** pointer to a named struct *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop =
+  | Neg
+  | Not
+
+type expr =
+  | Int of int
+  | Null
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Field of expr * string          (** [e->f] *)
+  | Malloc of string                (** [malloc(struct s)] *)
+  | Malloc_array of string * expr   (** [malloc(struct s, n)]: n contiguous elements *)
+  | Pool_malloc of string * string  (** [poolalloc(pd, struct s)] — transform output *)
+  | Pool_malloc_array of string * string * expr
+      (** [poolalloc(pd, struct s, n)] — transform output *)
+  | Index of expr * expr
+      (** [e[i]]: pointer to the i-th element of an array allocation *)
+  | Call of string * expr list
+
+type stmt =
+  | Decl of typ * string * expr option
+  | Assign of string * expr
+  | Store of expr * string * expr   (** [e1->f = e2] *)
+  | Free of expr
+  | Pool_free of string * expr      (** [poolfree(pd, e)] — transform output *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Print of expr
+  | Expr of expr
+  | Pool_init of string * string    (** [pool pd = poolinit(struct s)] *)
+  | Pool_destroy of string
+
+type func = {
+  name : string;
+  ret : typ option;                 (** [None] = void *)
+  params : (typ * string) list;
+  pool_params : string list;        (** extra descriptors, transform output *)
+  body : stmt list;
+}
+
+type program = {
+  structs : (string * (typ * string) list) list;
+  globals : (typ * string) list;
+  funcs : func list;
+}
+
+let struct_fields program name =
+  match List.assoc_opt name program.structs with
+  | Some fields -> fields
+  | None -> invalid_arg (Printf.sprintf "unknown struct %s" name)
+
+let struct_size program name = 8 * List.length (struct_fields program name)
+
+let field_index program sname fname =
+  let fields = struct_fields program sname in
+  let rec go i = function
+    | [] ->
+      invalid_arg (Printf.sprintf "struct %s has no field %s" sname fname)
+    | (_, f) :: rest -> if f = fname then i else go (i + 1) rest
+  in
+  go 0 fields
+
+let find_func program name =
+  List.find_opt (fun f -> f.name = name) program.funcs

@@ -1,0 +1,30 @@
+let closure pt seeds =
+  let seen = Hashtbl.create 16 in
+  let rec visit c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.replace seen c ();
+      Option.iter visit (Points_to.pointee pt c);
+      Option.iter visit (Points_to.field_class pt c)
+    end
+  in
+  List.iter visit seeds;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen []
+
+let reachable_from_globals pt (program : Ast.program) =
+  let seeds =
+    List.filter_map
+      (fun (_, name) -> Points_to.var_class pt ~fname:"" name)
+      program.globals
+  in
+  closure pt seeds
+
+let escapes pt (f : Ast.func) c =
+  let seeds =
+    List.filter_map
+      (fun (_, p) -> Points_to.var_class pt ~fname:f.name p)
+      f.params
+    @ (match Points_to.ret_class pt f.name with
+       | Some c -> [ c ]
+       | None -> [])
+  in
+  List.mem c (closure pt seeds)

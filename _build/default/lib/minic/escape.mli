@@ -1,0 +1,19 @@
+(** Escape analysis over the points-to classes: reachability from a
+    function's formals, its return value, and the globals — the paper's
+    "standard compiler analysis … much simpler, but can be less precise,
+    than that required for static detection of dangling pointer
+    references".  A pool can be created and destroyed inside a function
+    exactly when its class does not escape that function. *)
+
+val reachable_from_globals : Points_to.t -> Ast.program -> Points_to.class_id list
+(** Classes reachable from any global variable: these data structures
+    must live in global (long-lived) pools. *)
+
+val escapes : Points_to.t -> Ast.func -> Points_to.class_id -> bool
+(** Whether the class is reachable from the function's parameters or
+    return value (globals are handled separately by
+    {!reachable_from_globals}). *)
+
+val closure : Points_to.t -> Points_to.class_id list -> Points_to.class_id list
+(** Transitive closure of classes over pointee and field edges,
+    including the seeds. *)

@@ -1,0 +1,124 @@
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_STRUCT | KW_INT | KW_VOID | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | KW_MALLOC | KW_FREE | KW_NULL | KW_PRINT
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET | SEMI | COMMA | STAR
+  | ARROW | ASSIGN
+  | PLUS | MINUS | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE | ANDAND | OROR | BANG
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+let keyword = function
+  | "struct" -> Some KW_STRUCT
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | "malloc" -> Some KW_MALLOC
+  | "free" -> Some KW_FREE
+  | "null" | "NULL" -> Some KW_NULL
+  | "print" -> Some KW_PRINT
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let error message = raise (Lex_error { line = !line; message }) in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then error "unterminated comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        emit (INT_LIT (int_of_string (String.sub src i (j - i))));
+        go j
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub src i (j - i) in
+        emit (match keyword word with Some kw -> kw | None -> IDENT word);
+        go j
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '-' ->
+        if i + 1 < n && src.[i + 1] = '>' then begin emit ARROW; go (i + 2) end
+        else begin emit MINUS; go (i + 1) end
+      | '=' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit EQ; go (i + 2) end
+        else begin emit ASSIGN; go (i + 1) end
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit NE; go (i + 2) end
+        else begin emit BANG; go (i + 1) end
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit LE; go (i + 2) end
+        else begin emit LT; go (i + 1) end
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit GE; go (i + 2) end
+        else begin emit GT; go (i + 1) end
+      | '&' ->
+        if i + 1 < n && src.[i + 1] = '&' then begin emit ANDAND; go (i + 2) end
+        else error "expected '&&'"
+      | '|' ->
+        if i + 1 < n && src.[i + 1] = '|' then begin emit OROR; go (i + 2) end
+        else error "expected '||'"
+      | c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  emit EOF;
+  List.rev !tokens
+
+let token_label = function
+  | INT_LIT n -> string_of_int n
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_STRUCT -> "'struct'" | KW_INT -> "'int'" | KW_VOID -> "'void'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'"
+  | KW_RETURN -> "'return'" | KW_MALLOC -> "'malloc'" | KW_FREE -> "'free'"
+  | KW_NULL -> "'null'" | KW_PRINT -> "'print'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | SEMI -> "';'" | COMMA -> "','" | STAR -> "'*'"
+  | ARROW -> "'->'" | ASSIGN -> "'='"
+  | PLUS -> "'+'" | MINUS -> "'-'" | SLASH -> "'/'" | PERCENT -> "'%'"
+  | EQ -> "'=='" | NE -> "'!='" | LT -> "'<'" | LE -> "'<='"
+  | GT -> "'>'" | GE -> "'>='" | ANDAND -> "'&&'" | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,22 @@
+(** Hand-written lexer for MiniC.  Produces the token stream the
+    recursive-descent {!Parser} consumes; every token carries its source
+    line for error reporting. *)
+
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_STRUCT | KW_INT | KW_VOID | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | KW_MALLOC | KW_FREE | KW_NULL | KW_PRINT
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET | SEMI | COMMA | STAR
+  | ARROW | ASSIGN
+  | PLUS | MINUS | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE | ANDAND | OROR | BANG
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token plus its 1-based source line.  Comments ([// …] and [/* … */])
+    and whitespace are skipped.  Raises {!Lex_error} on junk. *)
+
+val token_label : token -> string

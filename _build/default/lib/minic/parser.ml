@@ -1,0 +1,413 @@
+open Lexer
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable toks : (token * int) list }
+
+let peek st =
+  match st.toks with
+  | (tok, line) :: _ -> (tok, line)
+  | [] -> (EOF, 0)
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let error st message =
+  let _, line = peek st in
+  raise (Parse_error { line; message })
+
+let expect st tok =
+  let got, line = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         {
+           line;
+           message =
+             Printf.sprintf "expected %s but found %s" (token_label tok)
+               (token_label got);
+         })
+
+let expect_ident st =
+  match peek st with
+  | IDENT name, _ ->
+    advance st;
+    name
+  | tok, line ->
+    raise
+      (Parse_error
+         {
+           line;
+           message = Printf.sprintf "expected identifier, found %s" (token_label tok);
+         })
+
+(* type := "int" | "struct" ID "*" *)
+let parse_type st =
+  match peek st with
+  | KW_INT, _ ->
+    advance st;
+    Ast.Tint
+  | KW_STRUCT, _ ->
+    advance st;
+    let name = expect_ident st in
+    expect st STAR;
+    Ast.Tptr name
+  | tok, line ->
+    raise
+      (Parse_error
+         {
+           line;
+           message = Printf.sprintf "expected a type, found %s" (token_label tok);
+         })
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | OROR, _ ->
+    advance st;
+    Ast.Binop (Ast.Or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  match peek st with
+  | ANDAND, _ ->
+    advance st;
+    Ast.Binop (Ast.And, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_equality st =
+  let lhs = parse_relational st in
+  match peek st with
+  | EQ, _ -> advance st; Ast.Binop (Ast.Eq, lhs, parse_relational st)
+  | NE, _ -> advance st; Ast.Binop (Ast.Ne, lhs, parse_relational st)
+  | _ -> lhs
+
+and parse_relational st =
+  let lhs = parse_additive st in
+  match peek st with
+  | LT, _ -> advance st; Ast.Binop (Ast.Lt, lhs, parse_additive st)
+  | LE, _ -> advance st; Ast.Binop (Ast.Le, lhs, parse_additive st)
+  | GT, _ -> advance st; Ast.Binop (Ast.Gt, lhs, parse_additive st)
+  | GE, _ -> advance st; Ast.Binop (Ast.Ge, lhs, parse_additive st)
+  | _ -> lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS, _ -> advance st; loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | MINUS, _ -> advance st; loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | STAR, _ -> advance st; loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | SLASH, _ -> advance st; loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | PERCENT, _ -> advance st; loop (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS, _ -> advance st; Ast.Unop (Ast.Neg, parse_unary st)
+  | BANG, _ -> advance st; Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec fields e =
+    match peek st with
+    | ARROW, _ ->
+      advance st;
+      let f = expect_ident st in
+      fields (Ast.Field (e, f))
+    | LBRACKET, _ ->
+      advance st;
+      let i = parse_expr st in
+      expect st RBRACKET;
+      fields (Ast.Index (e, i))
+    | _ -> e
+  in
+  fields (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | INT_LIT n, _ -> advance st; Ast.Int n
+  | KW_NULL, _ -> advance st; Ast.Null
+  | KW_MALLOC, _ ->
+    advance st;
+    expect st LPAREN;
+    expect st KW_STRUCT;
+    let name = expect_ident st in
+    (match peek st with
+     | COMMA, _ ->
+       advance st;
+       let count = parse_expr st in
+       expect st RPAREN;
+       Ast.Malloc_array (name, count)
+     | _ ->
+       expect st RPAREN;
+       Ast.Malloc name)
+  | LPAREN, _ ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | IDENT name, _ ->
+    advance st;
+    (match peek st with
+     | LPAREN, _ ->
+       advance st;
+       let args = parse_args st in
+       expect st RPAREN;
+       Ast.Call (name, args)
+     | _ -> Ast.Var name)
+  | tok, line ->
+    raise
+      (Parse_error
+         {
+           line;
+           message = Printf.sprintf "expected expression, found %s" (token_label tok);
+         })
+
+and parse_args st =
+  match peek st with
+  | RPAREN, _ -> []
+  | _ ->
+    let rec more acc =
+      match peek st with
+      | COMMA, _ ->
+        advance st;
+        more (parse_expr st :: acc)
+      | _ -> List.rev acc
+    in
+    more [ parse_expr st ]
+
+let rec parse_block st =
+  expect st LBRACE;
+  let rec stmts acc =
+    match peek st with
+    | RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | _ -> stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt st =
+  match peek st with
+  | KW_INT, _ | KW_STRUCT, _ ->
+    let typ = parse_type st in
+    let name = expect_ident st in
+    let init =
+      match peek st with
+      | ASSIGN, _ ->
+        advance st;
+        Some (parse_expr st)
+      | _ -> None
+    in
+    expect st SEMI;
+    Ast.Decl (typ, name, init)
+  | KW_FREE, _ ->
+    advance st;
+    expect st LPAREN;
+    let e = parse_expr st in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Free e
+  | KW_PRINT, _ ->
+    advance st;
+    expect st LPAREN;
+    let e = parse_expr st in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Print e
+  | KW_IF, _ ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    let then_body = parse_block st in
+    let else_body =
+      match peek st with
+      | KW_ELSE, _ ->
+        advance st;
+        parse_block st
+      | _ -> []
+    in
+    Ast.If (cond, then_body, else_body)
+  | KW_WHILE, _ ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    Ast.While (cond, parse_block st)
+  | KW_RETURN, _ ->
+    advance st;
+    (match peek st with
+     | SEMI, _ ->
+       advance st;
+       Ast.Return None
+     | _ ->
+       let e = parse_expr st in
+       expect st SEMI;
+       Ast.Return (Some e))
+  | _ ->
+    (* assignment, field store, call statement, or bare expression *)
+    let e = parse_expr st in
+    (match e, peek st with
+     | Ast.Var name, (ASSIGN, _) ->
+       advance st;
+       let rhs = parse_expr st in
+       expect st SEMI;
+       Ast.Assign (name, rhs)
+     | Ast.Field (base, field), (ASSIGN, _) ->
+       advance st;
+       let rhs = parse_expr st in
+       expect st SEMI;
+       Ast.Store (base, field, rhs)
+     | _, (SEMI, _) ->
+       advance st;
+       Ast.Expr e
+     | _, (tok, line) ->
+       raise
+         (Parse_error
+            {
+              line;
+              message =
+                Printf.sprintf "expected ';' or '=', found %s" (token_label tok);
+            }))
+
+let parse_struct_def st =
+  expect st KW_STRUCT;
+  let name = expect_ident st in
+  expect st LBRACE;
+  let rec fields acc =
+    match peek st with
+    | RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | _ ->
+      let typ = parse_type st in
+      let fname = expect_ident st in
+      expect st SEMI;
+      fields ((typ, fname) :: acc)
+  in
+  let fields = fields [] in
+  (match peek st with
+   | SEMI, _ -> advance st (* tolerate C-style trailing semicolon *)
+   | _ -> ());
+  (name, fields)
+
+let parse_params st =
+  match peek st with
+  | RPAREN, _ -> []
+  | _ ->
+    let param () =
+      let typ = parse_type st in
+      let name = expect_ident st in
+      (typ, name)
+    in
+    let rec more acc =
+      match peek st with
+      | COMMA, _ ->
+        advance st;
+        more (param () :: acc)
+      | _ -> List.rev acc
+    in
+    more [ param () ]
+
+let parse source =
+  let st = { toks = Lexer.tokenize source } in
+  let structs = ref [] in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let parse_fun ret =
+    let name = expect_ident st in
+    expect st LPAREN;
+    let params = parse_params st in
+    expect st RPAREN;
+    let body = parse_block st in
+    funcs := { Ast.name; ret; params; pool_params = []; body } :: !funcs
+  in
+  let rec items () =
+    match peek st with
+    | EOF, _ -> ()
+    | KW_VOID, _ ->
+      advance st;
+      parse_fun None;
+      items ()
+    | KW_STRUCT, _ ->
+      (* struct definition, global of struct-pointer type, or a function
+         returning a struct pointer: disambiguate on the token after the
+         struct name. *)
+      (match st.toks with
+       | (KW_STRUCT, _) :: (IDENT _, _) :: (LBRACE, _) :: _ ->
+         structs := parse_struct_def st :: !structs
+       | _ ->
+         let typ = parse_type st in
+         let name = expect_ident st in
+         (match peek st with
+          | LPAREN, _ ->
+            advance st;
+            let params = parse_params st in
+            expect st RPAREN;
+            let body = parse_block st in
+            funcs :=
+              { Ast.name; ret = Some typ; params; pool_params = []; body }
+              :: !funcs
+          | SEMI, _ ->
+            advance st;
+            globals := (typ, name) :: !globals
+          | tok, line ->
+            raise
+              (Parse_error
+                 {
+                   line;
+                   message =
+                     Printf.sprintf "expected '(' or ';', found %s"
+                       (token_label tok);
+                 })));
+      items ()
+    | KW_INT, _ ->
+      let typ = parse_type st in
+      let name = expect_ident st in
+      (match peek st with
+       | LPAREN, _ ->
+         advance st;
+         let params = parse_params st in
+         expect st RPAREN;
+         let body = parse_block st in
+         funcs :=
+           { Ast.name; ret = Some typ; params; pool_params = []; body }
+           :: !funcs
+       | SEMI, _ ->
+         advance st;
+         globals := (typ, name) :: !globals
+       | tok, line ->
+         raise
+           (Parse_error
+              {
+                line;
+                message =
+                  Printf.sprintf "expected '(' or ';', found %s"
+                    (token_label tok);
+              }));
+      items ()
+    | tok, _ ->
+      error st (Printf.sprintf "unexpected %s at top level" (token_label tok))
+  in
+  items ();
+  {
+    Ast.structs = List.rev !structs;
+    globals = List.rev !globals;
+    funcs = List.rev !funcs;
+  }

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch:
+    {v
+    program    := (struct_def | global_def | fun_def)*
+    struct_def := "struct" ID "{" (type ID ";")* "}"
+    global_def := type ID ";"
+    fun_def    := ("void" | type) ID "(" params ")" block
+    type       := "int" | "struct" ID "*"
+    stmt       := type ID ("=" expr)? ";"
+                | ID "=" expr ";"
+                | postfix "->" ID "=" expr ";"
+                | "free" "(" expr ")" ";"  | "print" "(" expr ")" ";"
+                | "if" "(" expr ")" block ("else" block)?
+                | "while" "(" expr ")" block
+                | "return" expr? ";"  | expr ";"
+    expr       := usual C precedence over || && == != < <= > >= + - * / %
+    postfix    := primary ("->" ID)*
+    primary    := INT | ID | "null" | "(" expr ")"
+                | "malloc" "(" "struct" ID ")" | ID "(" args ")"
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)

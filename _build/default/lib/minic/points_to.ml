@@ -1,0 +1,375 @@
+type class_id = int
+
+(* Union-find nodes.  [pointee] is the single Steensgaard target edge;
+   [field] is the collapsed "value stored in any pointer field of an
+   object of this class" node. *)
+type node = {
+  id : int;
+  mutable parent : node option;
+  mutable pointee : node option;
+  mutable field : node option;
+  mutable sites : int list;
+  mutable structs : string list;
+}
+
+let rec find n =
+  match n.parent with
+  | None -> n
+  | Some p ->
+    let root = find p in
+    n.parent <- Some root;
+    root
+
+type builder = {
+  mutable next_id : int;
+  vars : (string, node) Hashtbl.t; (* qualified "fn::x" or "::g" *)
+  rets : (string, node) Hashtbl.t;
+  site_nodes : (int, node) Hashtbl.t;
+}
+
+let fresh b =
+  let n =
+    { id = b.next_id; parent = None; pointee = None; field = None; sites = []; structs = [] }
+  in
+  b.next_id <- b.next_id + 1;
+  n
+
+let rec unify b a c =
+  let a = find a and c = find c in
+  if a != c then begin
+    c.parent <- Some a;
+    a.sites <- List.rev_append c.sites a.sites;
+    a.structs <- List.rev_append c.structs a.structs;
+    let merge get set =
+      match get a, get c with
+      | None, other -> set a other
+      | Some _, None -> ()
+      | Some x, Some y -> unify b x y
+    in
+    merge (fun n -> n.pointee) (fun n v -> n.pointee <- v);
+    merge (fun n -> n.field) (fun n v -> n.field <- v)
+  end
+
+let target b n =
+  let n = find n in
+  match n.pointee with
+  | Some p -> find p
+  | None ->
+    let p = fresh b in
+    n.pointee <- Some p;
+    p
+
+let field_node b n =
+  let n = find n in
+  match n.field with
+  | Some f -> find f
+  | None ->
+    let f = fresh b in
+    n.field <- Some f;
+    f
+
+let qualified fname var = fname ^ "::" ^ var
+
+(* Variable lookup: a function-local binding if one was created, else the
+   global.  Bindings are created eagerly for params/globals and lazily at
+   Decl, so scoping comes out right for our single-scope functions. *)
+let var_node b ~fname name =
+  match Hashtbl.find_opt b.vars (qualified fname name) with
+  | Some n -> n
+  | None ->
+    (match Hashtbl.find_opt b.vars (qualified "" name) with
+     | Some n -> n
+     | None ->
+       let n = fresh b in
+       Hashtbl.replace b.vars (qualified fname name) n;
+       n)
+
+let ret_node b fname =
+  match Hashtbl.find_opt b.rets fname with
+  | Some n -> n
+  | None ->
+    let n = fresh b in
+    Hashtbl.replace b.rets fname n;
+    n
+
+let iter_malloc_sites (program : Ast.program) visit =
+  let counter = ref 0 in
+  let rec expr fname = function
+    | Ast.Int _ | Ast.Null | Ast.Var _ -> ()
+    | Ast.Binop (_, a, c) ->
+      expr fname a;
+      expr fname c
+    | Ast.Unop (_, a) -> expr fname a
+    | Ast.Field (e, _) -> expr fname e
+    | Ast.Index (e, i) ->
+      expr fname e;
+      expr fname i
+    | Ast.Malloc s | Ast.Pool_malloc (_, s) ->
+      let site = !counter in
+      incr counter;
+      visit ~site ~fname ~struct_name:s
+    | Ast.Malloc_array (s, count) | Ast.Pool_malloc_array (_, s, count) ->
+      expr fname count;
+      let site = !counter in
+      incr counter;
+      visit ~site ~fname ~struct_name:s
+    | Ast.Call (_, args) -> List.iter (expr fname) args
+  in
+  let rec stmt fname = function
+    | Ast.Decl (_, _, init) -> Option.iter (expr fname) init
+    | Ast.Assign (_, e) | Ast.Print e | Ast.Expr e | Ast.Free e
+    | Ast.Pool_free (_, e)
+    | Ast.Return (Some e) ->
+      expr fname e
+    | Ast.Store (e1, _, e2) ->
+      expr fname e1;
+      expr fname e2
+    | Ast.If (cond, t, f) ->
+      expr fname cond;
+      List.iter (stmt fname) t;
+      List.iter (stmt fname) f
+    | Ast.While (cond, body) ->
+      expr fname cond;
+      List.iter (stmt fname) body
+    | Ast.Return None | Ast.Pool_init _ | Ast.Pool_destroy _ -> ()
+  in
+  List.iter
+    (fun (f : Ast.func) -> List.iter (stmt f.name) f.body)
+    program.funcs
+
+type t = {
+  class_of_node : (int, class_id) Hashtbl.t; (* root node id -> class *)
+  site_classes : (int, class_id) Hashtbl.t;
+  var_classes : (string, class_id) Hashtbl.t;
+  ret_classes : (string, class_id) Hashtbl.t;
+  pointees : (class_id, class_id) Hashtbl.t;
+  fields : (class_id, class_id) Hashtbl.t;
+  hints : (class_id, string) Hashtbl.t;
+  heap : class_id list;
+  count : int;
+}
+
+let analyze (program : Ast.program) =
+  let b =
+    {
+      next_id = 0;
+      vars = Hashtbl.create 64;
+      rets = Hashtbl.create 16;
+      site_nodes = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (_, name) -> Hashtbl.replace b.vars (qualified "" name) (fresh b))
+    program.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter
+        (fun (_, p) -> Hashtbl.replace b.vars (qualified f.name p) (fresh b))
+        f.params)
+    program.funcs;
+  let site_counter = ref 0 in
+  (* Evaluate an expression to the node of its pointer value. *)
+  let rec eval fname e =
+    match e with
+    | Ast.Int _ | Ast.Null -> fresh b
+    | Ast.Var x -> var_node b ~fname x
+    | Ast.Binop (_, a, c) ->
+      ignore (eval fname a);
+      ignore (eval fname c);
+      fresh b
+    | Ast.Unop (_, a) ->
+      ignore (eval fname a);
+      fresh b
+    | Ast.Field (base, _) ->
+      let obj = target b (eval fname base) in
+      field_node b obj
+    | Ast.Index (base, idx) ->
+      (* Pointer arithmetic within the array: same value class. *)
+      let v = eval fname base in
+      ignore (eval fname idx);
+      v
+    | Ast.Malloc_array (s, count) ->
+      ignore (eval fname count);
+      eval fname (Ast.Malloc s)
+    | Ast.Pool_malloc_array (_, s, count) ->
+      ignore (eval fname count);
+      eval fname (Ast.Malloc s)
+    | Ast.Malloc s | Ast.Pool_malloc (_, s) ->
+      let site = !site_counter in
+      incr site_counter;
+      let heap_node =
+        match Hashtbl.find_opt b.site_nodes site with
+        | Some n -> n
+        | None ->
+          let n = fresh b in
+          Hashtbl.replace b.site_nodes site n;
+          n
+      in
+      heap_node.sites <- site :: heap_node.sites;
+      heap_node.structs <- s :: heap_node.structs;
+      let value = fresh b in
+      unify b (target b value) heap_node;
+      value
+    | Ast.Call (g, args) ->
+      (match Ast.find_func program g with
+       | Some callee ->
+         List.iteri
+           (fun i arg ->
+             let arg_node = eval fname arg in
+             match List.nth_opt callee.Ast.params i with
+             | Some (_, p) -> unify b (var_node b ~fname:g p) arg_node
+             | None -> ())
+           args
+       | None -> List.iter (fun arg -> ignore (eval fname arg)) args);
+      ret_node b g
+  in
+  let rec stmt fname = function
+    | Ast.Decl (_, x, init) ->
+      let n =
+        match Hashtbl.find_opt b.vars (qualified fname x) with
+        | Some n -> n
+        | None ->
+          let n = fresh b in
+          Hashtbl.replace b.vars (qualified fname x) n;
+          n
+      in
+      (match init with
+       | Some e -> unify b n (eval fname e)
+       | None -> ())
+    | Ast.Assign (x, e) -> unify b (var_node b ~fname x) (eval fname e)
+    | Ast.Store (base, _, e) ->
+      let obj = target b (eval fname base) in
+      unify b (field_node b obj) (eval fname e)
+    | Ast.Free e | Ast.Pool_free (_, e) -> ignore (eval fname e)
+    | Ast.Print e | Ast.Expr e -> ignore (eval fname e)
+    | Ast.Return (Some e) -> unify b (ret_node b fname) (eval fname e)
+    | Ast.Return None | Ast.Pool_init _ | Ast.Pool_destroy _ -> ()
+    | Ast.If (cond, t, f) ->
+      ignore (eval fname cond);
+      List.iter (stmt fname) t;
+      List.iter (stmt fname) f
+    | Ast.While (cond, body) ->
+      ignore (eval fname cond);
+      List.iter (stmt fname) body
+  in
+  List.iter
+    (fun (f : Ast.func) -> List.iter (stmt f.name) f.body)
+    program.funcs;
+  (* Freeze: number the root nodes as classes and export edge tables. *)
+  let class_of_node = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let class_of n =
+    let root = find n in
+    match Hashtbl.find_opt class_of_node root.id with
+    | Some c -> c
+    | None ->
+      let c = !counter in
+      incr counter;
+      Hashtbl.replace class_of_node root.id c;
+      c
+  in
+  let site_classes = Hashtbl.create 64 in
+  let hints = Hashtbl.create 16 in
+  let heap = ref [] in
+  Hashtbl.iter
+    (fun site n ->
+      let c = class_of n in
+      Hashtbl.replace site_classes site c;
+      if not (List.mem c !heap) then heap := c :: !heap;
+      match (find n).structs with
+      | s :: _ -> Hashtbl.replace hints c s
+      | [] -> ())
+    b.site_nodes;
+  let var_classes = Hashtbl.create 64 in
+  Hashtbl.iter (fun q n -> Hashtbl.replace var_classes q (class_of n)) b.vars;
+  let ret_classes = Hashtbl.create 16 in
+  Hashtbl.iter (fun f n -> Hashtbl.replace ret_classes f (class_of n)) b.rets;
+  let pointees = Hashtbl.create 64 in
+  let fields = Hashtbl.create 64 in
+  let record_edges _ n =
+    let root = find n in
+    let c = class_of root in
+    (match root.pointee with
+     | Some p -> Hashtbl.replace pointees c (class_of p)
+     | None -> ());
+    match root.field with
+    | Some f -> Hashtbl.replace fields c (class_of f)
+    | None -> ()
+  in
+  Hashtbl.iter record_edges b.vars;
+  Hashtbl.iter record_edges b.rets;
+  Hashtbl.iter (fun _ n -> record_edges "" n) b.site_nodes;
+  (* Pointee/field targets may themselves have edges; walk to fixpoint by
+     scanning all root nodes we have numbered, chasing their edges. *)
+  let rec close pending =
+    match pending with
+    | [] -> ()
+    | n :: rest ->
+      let root = find n in
+      let c = class_of root in
+      let next = ref rest in
+      (match root.pointee with
+       | Some p when not (Hashtbl.mem pointees c) ->
+         Hashtbl.replace pointees c (class_of p);
+         next := p :: !next
+       | Some p -> if not (Hashtbl.mem class_of_node (find p).id) then next := p :: !next
+       | None -> ());
+      (match root.field with
+       | Some f when not (Hashtbl.mem fields c) ->
+         Hashtbl.replace fields c (class_of f);
+         next := f :: !next
+       | Some f -> if not (Hashtbl.mem class_of_node (find f).id) then next := f :: !next
+       | None -> ());
+      close !next
+  in
+  let all_roots =
+    Hashtbl.fold (fun _ n acc -> n :: acc) b.vars []
+    @ Hashtbl.fold (fun _ n acc -> n :: acc) b.rets []
+    @ Hashtbl.fold (fun _ n acc -> n :: acc) b.site_nodes []
+  in
+  close all_roots;
+  {
+    class_of_node;
+    site_classes;
+    var_classes;
+    ret_classes;
+    pointees;
+    fields;
+    hints;
+    heap = !heap;
+    count = !counter;
+  }
+
+let heap_classes t = List.sort compare t.heap
+
+let site_class t site =
+  match Hashtbl.find_opt t.site_classes site with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Points_to.site_class: unknown site %d" site)
+
+let var_class t ~fname name =
+  match Hashtbl.find_opt t.var_classes (qualified fname name) with
+  | Some c -> Some c
+  | None -> Hashtbl.find_opt t.var_classes (qualified "" name)
+
+let ret_class t fname = Hashtbl.find_opt t.ret_classes fname
+let pointee t c = Hashtbl.find_opt t.pointees c
+let field_class t c = Hashtbl.find_opt t.fields c
+let struct_hint t c = Hashtbl.find_opt t.hints c
+let class_count t = t.count
+
+let rec expr_value_class t ~fname = function
+  | Ast.Int _ | Ast.Null | Ast.Binop _ | Ast.Unop _ | Ast.Malloc _
+  | Ast.Pool_malloc _ | Ast.Malloc_array _ | Ast.Pool_malloc_array _ ->
+    None
+  | Ast.Var x -> var_class t ~fname x
+  | Ast.Index (base, _) -> expr_value_class t ~fname base
+  | Ast.Field (base, _) ->
+    Option.bind (expr_pointee_class t ~fname base) (field_class t)
+  | Ast.Call (g, _) -> ret_class t g
+
+and expr_pointee_class t ~fname = function
+  | Ast.Malloc _ | Ast.Malloc_array _ ->
+    (* Handled positionally by the transform (it knows the site). *)
+    None
+  | e -> Option.bind (expr_value_class t ~fname e) (pointee t)

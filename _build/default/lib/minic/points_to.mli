@@ -1,0 +1,55 @@
+(** Unification-based (Steensgaard-style) points-to analysis, collapsed
+    over fields — the flow-insensitive partitioning Automatic Pool
+    Allocation needs.  Every pointer value in the program gets an
+    equivalence class; heap classes (those containing at least one
+    [malloc] site) become candidate pools.
+
+    The frozen result answers, for the transform and for escape
+    analysis: which class does a malloc site allocate into, which class
+    does a variable's pointee belong to, and how do classes reach each
+    other (pointee / field edges). *)
+
+type class_id = int
+
+type t
+
+val analyze : Ast.program -> t
+
+val heap_classes : t -> class_id list
+(** Classes containing at least one malloc site, i.e. candidate pools. *)
+
+val site_class : t -> int -> class_id
+(** Class allocated into by the [n]-th malloc site in program order (the
+    order {!iter_malloc_sites} visits). *)
+
+val var_class : t -> fname:string -> string -> class_id option
+(** Class of the pointer value held by a variable (locals and parameters
+    of [fname], falling back to globals); [None] if unknown. *)
+
+val ret_class : t -> string -> class_id option
+val pointee : t -> class_id -> class_id option
+(** Class an element of this class points to, if any. *)
+
+val field_class : t -> class_id -> class_id option
+(** Class of pointer values stored in fields of this (object) class. *)
+
+val struct_hint : t -> class_id -> string option
+(** A struct name allocated into the class (for [poolinit] element-size
+    hints and diagnostics). *)
+
+val class_count : t -> int
+
+val iter_malloc_sites :
+  Ast.program -> (site:int -> fname:string -> struct_name:string -> unit) -> unit
+(** Visit every malloc site in deterministic program order, assigning
+    the site numbering shared between analysis and transform: functions
+    in program order, statements in order, expressions left-to-right. *)
+
+val expr_value_class : t -> fname:string -> Ast.expr -> class_id option
+(** Class of the pointer {e value} an expression evaluates to
+    ([Var] / [Field] / [Call] chains; [None] for literals and fresh
+    [Malloc] results). *)
+
+val expr_pointee_class : t -> fname:string -> Ast.expr -> class_id option
+(** Class of the {e object} an expression points to:
+    [pointee (expr_value_class e)]. *)

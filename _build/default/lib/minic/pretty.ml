@@ -1,0 +1,99 @@
+let typ_to_string = function
+  | Ast.Tint -> "int"
+  | Ast.Tptr s -> Printf.sprintf "struct %s *" s
+
+let binop_to_string = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%" | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<"
+  | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">=" | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let rec expr_to_string = function
+  | Ast.Int n -> string_of_int n
+  | Ast.Null -> "null"
+  | Ast.Var x -> x
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Ast.Unop (Ast.Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Ast.Field (e, f) -> Printf.sprintf "%s->%s" (expr_to_string e) f
+  | Ast.Malloc s -> Printf.sprintf "malloc(struct %s)" s
+  | Ast.Malloc_array (s, n) ->
+    Printf.sprintf "malloc(struct %s, %s)" s (expr_to_string n)
+  | Ast.Pool_malloc (pv, s) -> Printf.sprintf "poolalloc(%s, struct %s)" pv s
+  | Ast.Pool_malloc_array (pv, s, n) ->
+    Printf.sprintf "poolalloc(%s, struct %s, %s)" pv s (expr_to_string n)
+  | Ast.Index (e, i) ->
+    Printf.sprintf "%s[%s]" (expr_to_string e) (expr_to_string i)
+  | Ast.Call (g, args) ->
+    Printf.sprintf "%s(%s)" g (String.concat ", " (List.map expr_to_string args))
+
+let rec stmt_lines indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Ast.Decl (t, x, None) -> [ Printf.sprintf "%s%s %s;" pad (typ_to_string t) x ]
+  | Ast.Decl (t, x, Some e) ->
+    [ Printf.sprintf "%s%s %s = %s;" pad (typ_to_string t) x (expr_to_string e) ]
+  | Ast.Assign (x, e) -> [ Printf.sprintf "%s%s = %s;" pad x (expr_to_string e) ]
+  | Ast.Store (b, f, e) ->
+    [ Printf.sprintf "%s%s->%s = %s;" pad (expr_to_string b) f (expr_to_string e) ]
+  | Ast.Free e -> [ Printf.sprintf "%sfree(%s);" pad (expr_to_string e) ]
+  | Ast.Pool_free (pv, e) ->
+    [ Printf.sprintf "%spoolfree(%s, %s);" pad pv (expr_to_string e) ]
+  | Ast.Print e -> [ Printf.sprintf "%sprint(%s);" pad (expr_to_string e) ]
+  | Ast.Expr e -> [ Printf.sprintf "%s%s;" pad (expr_to_string e) ]
+  | Ast.Return None -> [ pad ^ "return;" ]
+  | Ast.Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Ast.Pool_init (pv, s) ->
+    [ Printf.sprintf "%spool %s = poolinit(%s);" pad pv
+        (if s = "" then "?" else "struct " ^ s) ]
+  | Ast.Pool_destroy pv -> [ Printf.sprintf "%spooldestroy(%s);" pad pv ]
+  | Ast.If (c, t, []) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_to_string c)
+     :: List.concat_map (stmt_lines (indent + 2)) t)
+    @ [ pad ^ "}" ]
+  | Ast.If (c, t, f) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_to_string c)
+     :: List.concat_map (stmt_lines (indent + 2)) t)
+    @ [ pad ^ "} else {" ]
+    @ List.concat_map (stmt_lines (indent + 2)) f
+    @ [ pad ^ "}" ]
+  | Ast.While (c, body) ->
+    (Printf.sprintf "%swhile (%s) {" pad (expr_to_string c)
+     :: List.concat_map (stmt_lines (indent + 2)) body)
+    @ [ pad ^ "}" ]
+
+let func_to_string (f : Ast.func) =
+  let ret =
+    match f.ret with
+    | None -> "void"
+    | Some t -> typ_to_string t
+  in
+  let params =
+    List.map (fun (t, x) -> Printf.sprintf "%s %s" (typ_to_string t) x) f.params
+    @ List.map (fun pv -> Printf.sprintf "pool %s" pv) f.pool_params
+  in
+  String.concat "\n"
+    ((Printf.sprintf "%s %s(%s) {" ret f.name (String.concat ", " params)
+      :: List.concat_map (stmt_lines 2) f.body)
+    @ [ "}" ])
+
+let program_to_string (p : Ast.program) =
+  let structs =
+    List.map
+      (fun (name, fields) ->
+        String.concat "\n"
+          ((Printf.sprintf "struct %s {" name
+            :: List.map
+                 (fun (t, f) -> Printf.sprintf "  %s %s;" (typ_to_string t) f)
+                 fields)
+          @ [ "}" ]))
+      p.structs
+  in
+  let globals =
+    List.map
+      (fun (t, n) -> Printf.sprintf "%s %s;" (typ_to_string t) n)
+      p.globals
+  in
+  String.concat "\n\n" (structs @ globals @ List.map func_to_string p.funcs)

@@ -1,0 +1,14 @@
+(** Lightweight type checker for MiniC: struct and field existence,
+    variable scoping, call arity, and pointer/integer well-formedness —
+    the checks a C front end would have done before the pool transform
+    runs. *)
+
+exception Type_error of string
+
+val check : Ast.program -> unit
+(** Raises {!Type_error} with a descriptive message. *)
+
+val expr_type :
+  Ast.program -> (string * Ast.typ) list -> Ast.expr -> Ast.typ option
+(** Type of an expression under a variable environment ([None] = void
+    call result).  Shared with the points-to analysis. *)

@@ -1,0 +1,1 @@
+lib/pool/page_recycler.ml: Addr List Vmm

@@ -1,0 +1,1 @@
+lib/pool/pool.ml: Addr Heap Kernel List Machine Page_recycler Printf Vmm

@@ -1,0 +1,1 @@
+lib/runtime/process.ml: Scheme Shadow Vmm

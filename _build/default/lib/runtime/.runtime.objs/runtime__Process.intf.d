@@ -1,0 +1,1 @@
+lib/runtime/process.mli: Scheme Shadow

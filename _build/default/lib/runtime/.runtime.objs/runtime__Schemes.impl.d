@@ -1,0 +1,1 @@
+lib/runtime/schemes.ml: Apa Heap Kernel Lazy List Machine Mmu Option Perm Scheme Shadow Stats Vmm

@@ -1,0 +1,1 @@
+lib/runtime/schemes.mli: Apa Scheme Shadow Vmm

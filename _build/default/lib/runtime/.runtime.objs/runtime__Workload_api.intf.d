@@ -1,0 +1,1 @@
+lib/runtime/workload_api.mli: Scheme Vmm

@@ -1,0 +1,50 @@
+type connection_result = {
+  cycles : float;
+  va_bytes : int;
+  peak_frames : int;
+  detection : Shadow.Report.t option;
+}
+
+let fork_cost_instructions = 100_000
+
+let run_connection ~make_scheme ~handler =
+  let scheme = make_scheme () in
+  let machine = scheme.Scheme.machine in
+  scheme.Scheme.compute fork_cost_instructions;
+  let detection =
+    match handler scheme with
+    | () -> None
+    | exception Shadow.Report.Violation report -> Some report
+  in
+  {
+    cycles = Vmm.Machine.cycles machine;
+    va_bytes = Vmm.Machine.va_bytes_used machine;
+    peak_frames = Vmm.Frame_table.peak_frames machine.Vmm.Machine.frames;
+    detection;
+  }
+
+type server_run = {
+  connections : int;
+  total_cycles : float;
+  mean_cycles_per_connection : float;
+  max_va_bytes_per_connection : int;
+  detections : int;
+}
+
+let serve ~make_scheme ~handler ~connections =
+  let total_cycles = ref 0. in
+  let max_va = ref 0 in
+  let detections = ref 0 in
+  for i = 0 to connections - 1 do
+    let result = run_connection ~make_scheme ~handler:(handler i) in
+    total_cycles := !total_cycles +. result.cycles;
+    if result.va_bytes > !max_va then max_va := result.va_bytes;
+    if result.detection <> None then incr detections
+  done;
+  {
+    connections;
+    total_cycles = !total_cycles;
+    mean_cycles_per_connection = !total_cycles /. float_of_int (max 1 connections);
+    max_va_bytes_per_connection = !max_va;
+    detections = !detections;
+  }

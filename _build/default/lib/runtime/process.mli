@@ -1,0 +1,43 @@
+(** The fork-per-connection server model (§4.3).
+
+    All five servers the paper studies fork a fresh process per client
+    connection (tftpd even per command), so any virtual-address wastage
+    within a connection dies with the child.  We model each connection
+    as a fresh machine + scheme: the handler runs, and we harvest the
+    child's cycles, its virtual-address consumption, and any detections.
+    A fixed fork cost is charged to every connection. *)
+
+type connection_result = {
+  cycles : float;          (** simulated cycles spent by the child *)
+  va_bytes : int;          (** virtual address space the child consumed *)
+  peak_frames : int;       (** child's peak physical footprint, pages *)
+  detection : Shadow.Report.t option;
+      (** the report, if the handler tripped a violation *)
+}
+
+val fork_cost_instructions : int
+(** Instructions charged per fork (~100us of 2006-era fork+exec work). *)
+
+val run_connection :
+  make_scheme:(unit -> Scheme.t) ->
+  handler:(Scheme.t -> unit) ->
+  connection_result
+(** Fork: build a fresh child scheme, run the handler, reap the stats.
+    A {!Shadow.Report.Violation} from the handler is caught and recorded
+    (the child dies; the server lives on).  Other exceptions propagate. *)
+
+type server_run = {
+  connections : int;
+  total_cycles : float;
+  mean_cycles_per_connection : float;
+  max_va_bytes_per_connection : int;
+  detections : int;
+}
+
+val serve :
+  make_scheme:(unit -> Scheme.t) ->
+  handler:(int -> Scheme.t -> unit) ->
+  connections:int ->
+  server_run
+(** Run [connections] sequential forked connections, passing each
+    handler its connection index. *)

@@ -1,0 +1,189 @@
+open Vmm
+
+let raw_load machine addr ~width = Mmu.load machine addr ~width
+let raw_store machine addr ~width v = Mmu.store machine addr ~width v
+let compute_direct machine n = Stats.count_instructions machine.Machine.stats n
+
+let native machine =
+  let malloc_heap = Heap.Freelist_malloc.create machine in
+  let rec scheme =
+    lazy
+      {
+        Scheme.name = "native";
+        machine;
+        malloc = (fun ?site:_ size -> Heap.Freelist_malloc.alloc malloc_heap size);
+        free = (fun ?site:_ a -> Heap.Freelist_malloc.dealloc malloc_heap a);
+        load = raw_load machine;
+        store = raw_store machine;
+        pool_create =
+          (fun ?elem_size:_ () -> Scheme.direct_pool (Lazy.force scheme));
+        compute = compute_direct machine;
+        extra_memory_bytes = (fun () -> 0);
+        guarantees_detection = false;
+      }
+  in
+  Lazy.force scheme
+
+let pool_syscall_pair machine dummy =
+  if dummy then begin
+    Kernel.dummy_syscall machine
+  end
+
+let pa ?(dummy_syscalls = false) machine =
+  let recycler = Apa.Page_recycler.create () in
+  let make_pool ?elem_size () =
+    Apa.Pool.create ?elem_size ~reclaim:(Apa.Pool.Recycle recycler) machine
+  in
+  let global = make_pool () in
+  let wrap_pool pool =
+    {
+      Scheme.pool_alloc =
+        (fun ?site:_ size ->
+          pool_syscall_pair machine dummy_syscalls;
+          Apa.Pool.alloc pool size);
+      pool_free =
+        (fun ?site:_ a ->
+          pool_syscall_pair machine dummy_syscalls;
+          Apa.Pool.dealloc pool a);
+      pool_destroy = (fun () -> Apa.Pool.destroy pool);
+    }
+  in
+  let global_handle = wrap_pool global in
+  {
+    Scheme.name = (if dummy_syscalls then "pa+dummy-syscalls" else "pa");
+    machine;
+    malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+    free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+    load = raw_load machine;
+    store = raw_store machine;
+    pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+    compute = compute_direct machine;
+    extra_memory_bytes = (fun () -> 0);
+    guarantees_detection = false;
+  }
+
+let guarded_load machine registry addr ~width =
+  Shadow.Detector.guard registry ~in_free:false (fun () ->
+      Mmu.load machine addr ~width)
+
+let guarded_store machine registry addr ~width v =
+  Shadow.Detector.guard registry ~in_free:false (fun () ->
+      Mmu.store machine addr ~width v)
+
+let shadow_basic machine =
+  let registry = Shadow.Object_registry.create () in
+  let malloc_heap = Heap.Freelist_malloc.create machine in
+  let heap =
+    Shadow.Shadow_heap.create ~registry
+      ~allocator:(Heap.Freelist_malloc.as_allocator malloc_heap)
+      machine
+  in
+  let rec scheme =
+    lazy
+      {
+        Scheme.name = "shadow-basic";
+        machine;
+        malloc = (fun ?site size -> Shadow.Shadow_heap.malloc heap ?site size);
+        free = (fun ?site a -> Shadow.Shadow_heap.free heap ?site a);
+        load = guarded_load machine registry;
+        store = guarded_store machine registry;
+        pool_create =
+          (fun ?elem_size:_ () -> Scheme.direct_pool (Lazy.force scheme));
+        compute = compute_direct machine;
+        extra_memory_bytes = (fun () -> 0);
+        guarantees_detection = true;
+      }
+  in
+  Lazy.force scheme
+
+(* The full-scheme record carries the global pool so §3.4 experiments can
+   reach it; we stash it in a side table keyed by the machine. *)
+let global_pools :
+  (Machine.t * (Shadow.Shadow_pool.t * Apa.Page_recycler.t)) list ref =
+  ref []
+
+let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
+  let registry = Shadow.Object_registry.create () in
+  let recycler = Apa.Page_recycler.create () in
+  let make_pool ?elem_size () =
+    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler ~registry
+      machine
+  in
+  let global = make_pool () in
+  global_pools := (machine, (global, recycler)) :: !global_pools;
+  let wrap_pool pool =
+    {
+      Scheme.pool_alloc =
+        (fun ?site size -> Shadow.Shadow_pool.alloc pool ?site size);
+      pool_free = (fun ?site a -> Shadow.Shadow_pool.free pool ?site a);
+      pool_destroy = (fun () -> Shadow.Shadow_pool.destroy pool);
+    }
+  in
+  let global_handle = wrap_pool global in
+  ( {
+      Scheme.name = "shadow-pool";
+      machine;
+      malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+      free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+      load = guarded_load machine registry;
+      store = guarded_store machine registry;
+      pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+      compute = compute_direct machine;
+      extra_memory_bytes = (fun () -> 0);
+      guarantees_detection = true;
+    },
+    registry )
+
+let shadow_pool ?reuse_shadow_va machine =
+  fst (shadow_pool_with_registry ?reuse_shadow_va machine)
+
+(* Shadow-pool plus per-access software bounds checks: a spatial error
+   that stays within the object's shadow page is invisible to the MMU
+   (the alias covers the whole physical frame), so the combined checker
+   validates the offset against the object registry before letting the
+   access through — the paper's future-work "comprehensive safety
+   checking tool" built from its two complementary halves. *)
+let shadow_pool_spatial ?(bounds_check_cost = 6) machine =
+  let base, registry = shadow_pool_with_registry machine in
+  let bounds_violation access addr obj =
+    let info =
+      {
+        (Shadow.Detector.object_info obj) with
+        Shadow.Report.offset = addr - obj.Shadow.Object_registry.user_addr;
+      }
+    in
+    raise
+      (Shadow.Report.Violation
+         {
+           Shadow.Report.kind = Shadow.Report.Out_of_bounds access;
+           fault_addr = addr;
+           object_info = Some info;
+         })
+  in
+  let check access addr width =
+    Stats.count_instructions machine.Machine.stats bounds_check_cost;
+    match Shadow.Object_registry.find_by_addr registry addr with
+    | Some obj ->
+      let start = obj.Shadow.Object_registry.user_addr in
+      if addr < start || addr + width > start + obj.Shadow.Object_registry.size
+      then bounds_violation access addr obj
+    | None -> ()
+  in
+  {
+    base with
+    Scheme.name = "shadow-pool+bounds";
+    load =
+      (fun addr ~width ->
+        check Perm.Read addr width;
+        base.Scheme.load addr ~width);
+    store =
+      (fun addr ~width v ->
+        check Perm.Write addr width;
+        base.Scheme.store addr ~width v);
+  }
+
+let lookup_side_table (scheme : Scheme.t) =
+  List.assq_opt scheme.Scheme.machine !global_pools
+
+let shadow_pool_global scheme = Option.map fst (lookup_side_table scheme)
+let shadow_pool_recycler scheme = Option.map snd (lookup_side_table scheme)

@@ -1,0 +1,45 @@
+(** Constructors for the paper's own configurations (Table 1 columns).
+    Related-work baselines (Electric Fence, Valgrind-style, capability
+    checking) live in the [baseline] library. *)
+
+val native : Vmm.Machine.t -> Scheme.t
+(** The unmodified program: plain {!Heap.Freelist_malloc}, raw loads and
+    stores, no pools.  A dangling use silently reads whatever the reused
+    memory holds — or segfaults undiagnosed if it strays off the map. *)
+
+val pa : ?dummy_syscalls:bool -> Vmm.Machine.t -> Scheme.t
+(** Automatic Pool Allocation alone (the "PA" column): allocations are
+    segregated into pools with virtual-page recycling at pool destroy,
+    but no shadow pages and no protection — so no detection.  With
+    [dummy_syscalls] each allocation performs one no-op [mremap]-shaped
+    syscall and each free one no-op [mprotect]-shaped syscall: the
+    paper's "PA + dummy syscalls" column, isolating syscall overhead
+    from TLB effects. *)
+
+val shadow_basic : Vmm.Machine.t -> Scheme.t
+(** The basic scheme of §3.2, applicable to unmodified binaries: shadow
+    pages over the ordinary allocator, full detection, but no virtual
+    address reuse (pool operations degrade to plain malloc/free). *)
+
+val shadow_pool : ?reuse_shadow_va:bool -> Vmm.Machine.t -> Scheme.t
+(** The full approach (§3.3): shadow pages + Automatic Pool Allocation.
+    Top-level [malloc]/[free] go through a global pool; [pool_create]
+    makes compiler-inferred pools whose destroy recycles all pages. *)
+
+val shadow_pool_global : Scheme.t -> Shadow.Shadow_pool.t option
+(** Access the global pool behind a {!shadow_pool} scheme (for the §3.4
+    long-lived-pool experiments); [None] for other schemes. *)
+
+val shadow_pool_recycler : Scheme.t -> Apa.Page_recycler.t option
+(** The shared page free list behind a {!shadow_pool} scheme (for the
+    §4.3 address-space measurements). *)
+
+val shadow_pool_spatial :
+  ?bounds_check_cost:int -> Vmm.Machine.t -> Scheme.t
+(** The paper's future-work "comprehensive safety checking tool":
+    {!shadow_pool} (all temporal errors, by hardware) plus a software
+    bounds check per access against the object registry (spatial errors
+    within the shadow page, which the MMU cannot see).  The bounds check
+    costs [bounds_check_cost] instructions per access (default 6,
+    matching the few-percent overhead of the authors' companion spatial
+    checker). *)

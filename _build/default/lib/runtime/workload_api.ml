@@ -1,0 +1,25 @@
+let word = 8
+
+let with_pool (s : Scheme.t) ?elem_size body =
+  let pool = s.Scheme.pool_create ?elem_size () in
+  Fun.protect ~finally:(fun () -> pool.Scheme.pool_destroy ()) (fun () ->
+      body pool)
+
+let load_field (s : Scheme.t) p i = s.Scheme.load (p + (i * word)) ~width:word
+let store_field (s : Scheme.t) p i v = s.Scheme.store (p + (i * word)) ~width:word v
+let load_byte (s : Scheme.t) p = s.Scheme.load p ~width:1
+let store_byte (s : Scheme.t) p v = s.Scheme.store p ~width:1 v
+
+let fill_words s p ~words ~value =
+  for i = 0 to words - 1 do
+    store_field s p i value
+  done
+
+let sum_words s p ~words =
+  let rec go i acc = if i >= words then acc else go (i + 1) (acc + load_field s p i) in
+  go 0 0
+
+let touch_bytes s p ~len ~stride =
+  assert (stride > 0);
+  let rec go off = if off < len then begin ignore (load_byte s (p + off)); go (off + stride) end in
+  go 0

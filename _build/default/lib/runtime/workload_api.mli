@@ -1,0 +1,28 @@
+(** Convenience layer workloads are written against: word-sized field
+    access, pool scoping, and bulk touch/fill loops, all in terms of a
+    {!Scheme.t} so a single workload source runs under every scheme. *)
+
+val word : int
+(** Bytes per field/word (8). *)
+
+val with_pool :
+  Scheme.t -> ?elem_size:int -> (Scheme.pool_handle -> 'a) -> 'a
+(** [poolinit]/[pooldestroy] bracket.  The pool is destroyed even if the
+    body raises. *)
+
+val load_field : Scheme.t -> Vmm.Addr.t -> int -> int
+(** [load_field s p i] reads the [i]-th word of the object at [p]. *)
+
+val store_field : Scheme.t -> Vmm.Addr.t -> int -> int -> unit
+val load_byte : Scheme.t -> Vmm.Addr.t -> int
+val store_byte : Scheme.t -> Vmm.Addr.t -> int -> unit
+
+val fill_words : Scheme.t -> Vmm.Addr.t -> words:int -> value:int -> unit
+(** Store [value] into [words] consecutive words. *)
+
+val sum_words : Scheme.t -> Vmm.Addr.t -> words:int -> int
+(** Load and sum [words] consecutive words. *)
+
+val touch_bytes : Scheme.t -> Vmm.Addr.t -> len:int -> stride:int -> unit
+(** Read one byte every [stride] bytes across [len] bytes — the cheap
+    way to model streaming passes over buffers. *)

@@ -1,0 +1,1 @@
+lib/shadow/detector.ml: Object_registry Report Vmm

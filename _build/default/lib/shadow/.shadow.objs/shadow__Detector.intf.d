@@ -1,0 +1,1 @@
+lib/shadow/detector.mli: Object_registry Report Vmm

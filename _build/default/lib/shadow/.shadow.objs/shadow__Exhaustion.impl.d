@@ -1,0 +1,1 @@
+lib/shadow/exhaustion.ml:

@@ -1,0 +1,1 @@
+lib/shadow/object_registry.ml: Addr Hashtbl Vmm

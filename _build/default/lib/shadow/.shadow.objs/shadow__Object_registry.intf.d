@@ -1,0 +1,1 @@
+lib/shadow/object_registry.mli: Vmm

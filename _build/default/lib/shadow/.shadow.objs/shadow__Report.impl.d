@@ -1,0 +1,1 @@
+lib/shadow/report.ml: Format Vmm

@@ -1,0 +1,1 @@
+lib/shadow/report.mli: Format Vmm

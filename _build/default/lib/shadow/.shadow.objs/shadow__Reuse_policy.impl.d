@@ -1,0 +1,1 @@
+lib/shadow/reuse_policy.ml: Printf Shadow_pool Vmm

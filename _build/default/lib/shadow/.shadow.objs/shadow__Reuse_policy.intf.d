@@ -1,0 +1,1 @@
+lib/shadow/reuse_policy.mli: Shadow_pool

@@ -1,0 +1,1 @@
+lib/shadow/shadow_heap.ml: Addr Detector Heap Kernel Machine Mmu Object_registry Perm Report Vmm

@@ -1,0 +1,1 @@
+lib/shadow/shadow_heap.mli: Heap Object_registry Vmm

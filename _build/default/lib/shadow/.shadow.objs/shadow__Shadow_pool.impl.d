@@ -1,0 +1,1 @@
+lib/shadow/shadow_pool.ml: Addr Apa Hashtbl Kernel List Machine Object_registry Printf Shadow_heap Vmm

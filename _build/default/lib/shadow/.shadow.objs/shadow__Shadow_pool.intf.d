@@ -1,0 +1,1 @@
+lib/shadow/shadow_pool.mli: Apa Object_registry Vmm

@@ -1,0 +1,12 @@
+let seconds_until_exhaustion ~va_bytes ~page_bytes ~pages_per_second =
+  va_bytes /. (float_of_int page_bytes *. pages_per_second)
+
+let hours_until_exhaustion ~va_bytes ~page_bytes ~pages_per_second =
+  seconds_until_exhaustion ~va_bytes ~page_bytes ~pages_per_second /. 3600.
+
+let paper_example_hours () =
+  hours_until_exhaustion ~va_bytes:(2. ** 47.) ~page_bytes:4096
+    ~pages_per_second:1e6
+
+let pages_for_runtime ~seconds ~allocs_per_second ~pages_per_alloc =
+  seconds *. allocs_per_second *. pages_per_alloc

@@ -1,0 +1,45 @@
+type kind =
+  | Use_after_free of Vmm.Perm.access
+  | Double_free
+  | Invalid_free
+  | Wild_access of Vmm.Perm.access
+  | Out_of_bounds of Vmm.Perm.access
+
+type object_info = {
+  object_id : int;
+  size : int;
+  offset : int;
+  alloc_site : string;
+  free_site : string option;
+}
+
+type t = {
+  kind : kind;
+  fault_addr : Vmm.Addr.t;
+  object_info : object_info option;
+}
+
+exception Violation of t
+
+let kind_label = function
+  | Use_after_free Vmm.Perm.Read -> "use-after-free (read)"
+  | Use_after_free Vmm.Perm.Write -> "use-after-free (write)"
+  | Double_free -> "double free"
+  | Invalid_free -> "invalid free"
+  | Wild_access Vmm.Perm.Read -> "wild read"
+  | Wild_access Vmm.Perm.Write -> "wild write"
+  | Out_of_bounds Vmm.Perm.Read -> "out-of-bounds read"
+  | Out_of_bounds Vmm.Perm.Write -> "out-of-bounds write"
+
+let pp ppf t =
+  Format.fprintf ppf "%s at %a" (kind_label t.kind) Vmm.Addr.pp t.fault_addr;
+  match t.object_info with
+  | None -> ()
+  | Some info ->
+    Format.fprintf ppf ": object #%d (%d bytes, offset %d) allocated at %s"
+      info.object_id info.size info.offset info.alloc_site;
+    (match info.free_site with
+     | Some site -> Format.fprintf ppf ", freed at %s" site
+     | None -> ())
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,41 @@
+type strategy =
+  | Interval_reuse of { trigger_pages : int }
+  | Conservative_gc of { trigger_pages : int; scan_cost_per_object : int }
+  | Manual
+
+type t = {
+  strategy : strategy;
+  pool : Shadow_pool.t;
+  mutable reclaimed : int;
+  mutable gc_runs : int;
+}
+
+let create strategy pool = { strategy; pool; reclaimed = 0; gc_runs = 0 }
+
+let reclaim t = t.reclaimed <- t.reclaimed + Shadow_pool.reclaim_freed_shadow t.pool
+
+let after_free t =
+  match t.strategy with
+  | Manual -> ()
+  | Interval_reuse { trigger_pages } ->
+    if Shadow_pool.freed_shadow_pages t.pool >= trigger_pages then reclaim t
+  | Conservative_gc { trigger_pages; scan_cost_per_object } ->
+    if Shadow_pool.freed_shadow_pages t.pool >= trigger_pages then begin
+      (* The conservative scan walks every live object of the pool. *)
+      let live = Shadow_pool.live_blocks t.pool in
+      Vmm.Stats.count_instructions
+        (Shadow_pool.machine t.pool).Vmm.Machine.stats
+        (live * scan_cost_per_object);
+      t.gc_runs <- t.gc_runs + 1;
+      reclaim t
+    end
+
+let reclaimed_pages t = t.reclaimed
+let gc_runs t = t.gc_runs
+
+let strategy_label = function
+  | Interval_reuse { trigger_pages } ->
+    Printf.sprintf "interval-reuse(%d pages)" trigger_pages
+  | Conservative_gc { trigger_pages; _ } ->
+    Printf.sprintf "conservative-gc(%d pages)" trigger_pages
+  | Manual -> "manual"

@@ -1,0 +1,34 @@
+(** §3.4 mitigation strategies for {e long-lived} pools (pools reachable
+    from globals, or created in [main]), whose shadow pages are never
+    released by [pooldestroy] in practice.
+
+    - {!Interval_reuse}: once the pool retains more than a threshold of
+      freed-but-protected shadow pages, release them for reuse.  Cheap,
+      but any dangling use of those objects afterwards is no longer
+      guaranteed to trap — the paper argues the probability is
+      unimportant at realistic thresholds (hours of allocations).
+    - {!Conservative_gc}: at the same trigger, first run a conservative
+      scan over the pool's live objects (cost charged to the machine as
+      instructions) to confirm no stale pointers remain, then release.
+      Models the paper's "infrequent GC over only the long-lived pools".
+    - {!Manual}: never reclaim; the programmer restructured the code
+      instead. *)
+
+type strategy =
+  | Interval_reuse of { trigger_pages : int }
+  | Conservative_gc of { trigger_pages : int; scan_cost_per_object : int }
+  | Manual
+
+type t
+
+val create : strategy -> Shadow_pool.t -> t
+
+val after_free : t -> unit
+(** Call after each [poolfree] on the managed pool; runs the strategy's
+    trigger check and possibly a reclamation. *)
+
+val reclaimed_pages : t -> int
+(** Cumulative shadow pages released by this policy. *)
+
+val gc_runs : t -> int
+val strategy_label : strategy -> string

@@ -1,0 +1,82 @@
+open Vmm
+
+let header_bytes = 8
+
+type t = {
+  machine : Machine.t;
+  allocator : Heap.Allocator_intf.t;
+  registry : Object_registry.t;
+  shadow_placer : int -> Addr.t option;
+  on_shadow_range : base:Addr.t -> pages:int -> unit;
+  mutable shadow_pages_created : int;
+}
+
+let create ?(shadow_placer = fun _ -> None)
+    ?(on_shadow_range = fun ~base:_ ~pages:_ -> ()) ~registry ~allocator
+    machine =
+  {
+    machine;
+    allocator;
+    registry;
+    shadow_placer;
+    on_shadow_range;
+    shadow_pages_created = 0;
+  }
+
+let malloc t ?(site = "<unknown>") size =
+  if size <= 0 then invalid_arg "Shadow_heap.malloc: size <= 0";
+  let total = size + header_bytes in
+  let canonical = t.allocator.alloc total in
+  let pages = Addr.pages_spanning canonical total in
+  let src = Addr.page_base canonical in
+  let shadow_base =
+    match t.shadow_placer pages with
+    | Some dst ->
+      Kernel.mremap_alias_at t.machine ~src ~dst ~pages;
+      dst
+    | None -> Kernel.mremap_alias t.machine ~src ~pages
+  in
+  t.shadow_pages_created <- t.shadow_pages_created + pages;
+  t.on_shadow_range ~base:shadow_base ~pages;
+  let user = shadow_base + Addr.offset canonical + header_bytes in
+  (* Record the canonical address in the extra word, through the shadow
+     mapping — the store lands on the shared physical page. *)
+  Mmu.store t.machine (user - header_bytes) ~width:8 canonical;
+  ignore
+    (Object_registry.register t.registry ~canonical ~shadow_base ~pages
+       ~user_addr:user ~size ~alloc_site:site);
+  user
+
+let violation kind fault_addr info =
+  raise (Report.Violation { Report.kind; fault_addr; object_info = info })
+
+let free t ?(site = "<unknown>") user =
+  (* Reading the bookkeeping word is itself the double-free check: a
+     freed object's shadow page is PROT_NONE, so this load traps. *)
+  let canonical =
+    Detector.guard t.registry ~in_free:true (fun () ->
+        Mmu.load t.machine (user - header_bytes) ~width:8)
+  in
+  match Object_registry.find_by_addr t.registry user with
+  | Some obj when obj.Object_registry.user_addr = user ->
+    assert (obj.Object_registry.canonical = canonical);
+    Kernel.mprotect t.machine ~addr:obj.Object_registry.shadow_base
+      ~pages:obj.Object_registry.pages Perm.No_access;
+    Object_registry.mark_freed t.registry obj ~free_site:site;
+    t.allocator.dealloc canonical
+  | Some obj ->
+    (* Interior pointer passed to free. *)
+    violation Report.Invalid_free user (Some (Detector.object_info obj))
+  | None -> violation Report.Invalid_free user None
+
+let registry t = t.registry
+let machine t = t.machine
+let shadow_pages_created t = t.shadow_pages_created
+
+let size_of t user =
+  match Object_registry.find_by_addr t.registry user with
+  | Some obj
+    when obj.Object_registry.user_addr = user
+         && obj.Object_registry.state = Object_registry.Live ->
+    obj.Object_registry.size
+  | Some _ | None -> invalid_arg "Shadow_heap.size_of: not a live object"

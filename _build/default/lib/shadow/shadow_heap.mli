@@ -1,0 +1,52 @@
+(** The paper's core mechanism (§3.2): one {e shadow} virtual page range
+    per allocation, aliased onto the canonical physical pages of an
+    unmodified underlying allocator.
+
+    Allocation: the request is grown by one word; the underlying
+    allocator places the object at canonical address [a]; a fresh virtual
+    range aliasing [a]'s page(s) is created with one [mremap]; the
+    canonical address is recorded in the extra word just before the
+    returned pointer; the caller receives the {e shadow} address (same
+    page offset, different page).
+
+    Deallocation: the header word is read back (this read itself traps on
+    a double free), the shadow range is [mprotect]ed to [PROT_NONE], and
+    the canonical address is passed to the underlying [free] — so the
+    physical memory is reused exactly as in the original program while
+    every stale pointer keeps pointing at a protected page forever.
+
+    The underlying allocator never learns any of this happened. *)
+
+type t
+
+val header_bytes : int
+(** Extra bytes prepended per allocation (one word = 8). *)
+
+val create :
+  ?shadow_placer:(int -> Vmm.Addr.t option) ->
+  ?on_shadow_range:(base:Vmm.Addr.t -> pages:int -> unit) ->
+  registry:Object_registry.t ->
+  allocator:Heap.Allocator_intf.t ->
+  Vmm.Machine.t ->
+  t
+(** [shadow_placer pages] may supply a recycled virtual address at which
+    to place the next shadow range ([None] = take fresh address space);
+    [on_shadow_range] is told about every shadow range created, so a pool
+    layer can track it for destroy-time recycling. *)
+
+val malloc : t -> ?site:string -> int -> Vmm.Addr.t
+(** Allocate [size] usable bytes; returns the shadow address.  [site] is
+    a free-form call-site label kept for diagnostics. *)
+
+val free : t -> ?site:string -> Vmm.Addr.t -> unit
+(** Free a shadow address.  Raises {!Report.Violation} with
+    [Double_free] / [Invalid_free] diagnostics on misuse. *)
+
+val registry : t -> Object_registry.t
+val machine : t -> Vmm.Machine.t
+
+val shadow_pages_created : t -> int
+(** Total shadow pages ever created by this heap. *)
+
+val size_of : t -> Vmm.Addr.t -> int
+(** Usable size of a live object, by shadow address. *)

@@ -1,0 +1,107 @@
+open Vmm
+
+type range_state =
+  | Rs_live
+  | Rs_freed
+
+type t = {
+  machine : Machine.t;
+  registry : Object_registry.t;
+  pool : Apa.Pool.t;
+  heap : Shadow_heap.t;
+  recycler : Apa.Page_recycler.t option;
+  shadow_ranges : (Addr.t, int * range_state) Hashtbl.t; (* base -> pages, state *)
+  mutable destroyed : bool;
+}
+
+let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
+    ~registry machine =
+  let reclaim =
+    match recycler with
+    | Some r -> Apa.Pool.Recycle r
+    | None -> Apa.Pool.Unmap
+  in
+  let pool = Apa.Pool.create ~arena_pages ?elem_size ~reclaim machine in
+  let shadow_ranges = Hashtbl.create 64 in
+  let shadow_placer pages =
+    match recycler with
+    | Some r when reuse_shadow_va -> Apa.Page_recycler.take r ~pages
+    | Some _ | None -> None
+  in
+  let on_shadow_range ~base ~pages =
+    Hashtbl.replace shadow_ranges base (pages, Rs_live)
+  in
+  let heap =
+    Shadow_heap.create ~shadow_placer ~on_shadow_range ~registry
+      ~allocator:(Apa.Pool.as_allocator pool)
+      machine
+  in
+  { machine; registry; pool; heap; recycler; shadow_ranges; destroyed = false }
+
+let check_usable t name =
+  if t.destroyed then
+    invalid_arg (Printf.sprintf "Shadow_pool.%s: pool already destroyed" name)
+
+let alloc t ?site size =
+  check_usable t "alloc";
+  Shadow_heap.malloc t.heap ?site size
+
+let free t ?site user =
+  check_usable t "free";
+  (* Look the object up first so we can flip its range state after the
+     underlying free protects it. *)
+  let obj = Object_registry.find_by_addr t.registry user in
+  Shadow_heap.free t.heap ?site user;
+  match obj with
+  | Some o ->
+    Hashtbl.replace t.shadow_ranges o.Object_registry.shadow_base
+      (o.Object_registry.pages, Rs_freed)
+  | None -> ()
+
+let size_of t user = Shadow_heap.size_of t.heap user
+
+let release_range t base pages =
+  Object_registry.forget_range t.registry ~base ~pages;
+  match t.recycler with
+  | Some r -> Apa.Page_recycler.put r ~base ~pages
+  | None -> Kernel.munmap t.machine ~addr:base ~pages
+
+let destroy t =
+  check_usable t "destroy";
+  t.destroyed <- true;
+  Hashtbl.iter (fun base (pages, _state) -> release_range t base pages)
+    t.shadow_ranges;
+  Hashtbl.reset t.shadow_ranges;
+  Apa.Pool.destroy t.pool
+
+let reclaim_freed_shadow t =
+  check_usable t "reclaim_freed_shadow";
+  let freed =
+    Hashtbl.fold
+      (fun base (pages, state) acc ->
+        match state with
+        | Rs_freed -> (base, pages) :: acc
+        | Rs_live -> acc)
+      t.shadow_ranges []
+  in
+  List.iter
+    (fun (base, pages) ->
+      release_range t base pages;
+      Hashtbl.remove t.shadow_ranges base)
+    freed;
+  List.fold_left (fun acc (_, pages) -> acc + pages) 0 freed
+
+let machine t = t.machine
+let is_destroyed t = t.destroyed
+let live_blocks t = Apa.Pool.live_blocks t.pool
+
+let shadow_pages_live t =
+  Hashtbl.fold (fun _ (pages, _) acc -> acc + pages) t.shadow_ranges 0
+
+let freed_shadow_pages t =
+  Hashtbl.fold
+    (fun _ (pages, state) acc ->
+      match state with
+      | Rs_freed -> acc + pages
+      | Rs_live -> acc)
+    t.shadow_ranges 0

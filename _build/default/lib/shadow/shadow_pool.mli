@@ -1,0 +1,53 @@
+(** Shadow-page detection layered over a pool (§3.3): the full scheme.
+
+    Allocation and deallocation work exactly as in {!Shadow_heap}, with
+    the pool as the underlying allocator.  The new capability is
+    [pooldestroy]: because Automatic Pool Allocation guarantees no live
+    pointers into the pool survive it, {!destroy} returns {e every}
+    virtual page the pool ever consumed — canonical and shadow alike —
+    to the shared {!Apa.Page_recycler}, bounding virtual-address-space
+    growth for pool-bounded data.
+
+    With [reuse_shadow_va] (default true) new shadow ranges are also
+    placed on recycled addresses when available, so steady-state virtual
+    address consumption is flat.  Setting it false reproduces the
+    stricter reading of the paper in which only canonical pages are drawn
+    from the free list; the ablation bench shows the difference. *)
+
+type t
+
+val create :
+  ?arena_pages:int ->
+  ?elem_size:int ->
+  ?reuse_shadow_va:bool ->
+  ?recycler:Apa.Page_recycler.t ->
+  registry:Object_registry.t ->
+  Vmm.Machine.t ->
+  t
+(** [poolinit].  Without a [recycler], destroy unmaps everything instead
+    (the paper's "simple solution"). *)
+
+val alloc : t -> ?site:string -> int -> Vmm.Addr.t
+val free : t -> ?site:string -> Vmm.Addr.t -> unit
+val size_of : t -> Vmm.Addr.t -> int
+
+val destroy : t -> unit
+(** [pooldestroy]: recycle (or unmap) all canonical and shadow ranges and
+    drop their diagnostic records. *)
+
+val reclaim_freed_shadow : t -> int
+(** §3.4 escape hatch for long-lived pools: release the shadow ranges of
+    already-freed objects for reuse {e before} pool destruction, returning
+    the number of pages released.  After this, a dangling use of those
+    objects is no longer guaranteed to be detected — this is precisely
+    the small-probability trade the paper accepts when address space must
+    be reclaimed from immortal pools. *)
+
+val machine : t -> Vmm.Machine.t
+val is_destroyed : t -> bool
+val live_blocks : t -> int
+val shadow_pages_live : t -> int
+(** Shadow pages currently held (live + freed-retained). *)
+
+val freed_shadow_pages : t -> int
+(** Shadow pages held only to keep freed objects trapping. *)

@@ -1,0 +1,1 @@
+lib/vmm/addr.ml: Format

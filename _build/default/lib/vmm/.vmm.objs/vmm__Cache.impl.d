@@ -1,0 +1,1 @@
+lib/vmm/cache.ml: Array Stats

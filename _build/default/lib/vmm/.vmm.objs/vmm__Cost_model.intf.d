@@ -1,0 +1,1 @@
+lib/vmm/cost_model.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/vmm/frame_table.ml: Addr Bytes Char Hashtbl Printf Stats

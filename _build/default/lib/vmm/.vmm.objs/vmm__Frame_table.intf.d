@@ -1,0 +1,1 @@
+lib/vmm/frame_table.mli: Stats

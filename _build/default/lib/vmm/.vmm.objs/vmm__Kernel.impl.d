@@ -1,0 +1,1 @@
+lib/vmm/kernel.ml: Addr Array Frame_table Machine Page_table Perm Printf Stats Tlb

@@ -1,0 +1,1 @@
+lib/vmm/kernel.mli: Addr Machine Perm

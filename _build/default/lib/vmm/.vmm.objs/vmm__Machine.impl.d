@@ -1,0 +1,1 @@
+lib/vmm/machine.ml: Addr Cache Cost_model Frame_table Page_table Stats Tlb

@@ -1,0 +1,1 @@
+lib/vmm/machine.mli: Addr Cache Cost_model Frame_table Page_table Stats Tlb

@@ -1,0 +1,1 @@
+lib/vmm/mmu.ml: Addr Cache Fault Frame_table Machine Page_table Perm Printf Stats Tlb

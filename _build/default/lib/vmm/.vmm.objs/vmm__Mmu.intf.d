@@ -1,0 +1,1 @@
+lib/vmm/mmu.mli: Addr Fault Machine Perm

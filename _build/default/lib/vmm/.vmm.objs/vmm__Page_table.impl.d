@@ -1,0 +1,1 @@
+lib/vmm/page_table.ml: Frame_table Hashtbl Perm Printf Stats

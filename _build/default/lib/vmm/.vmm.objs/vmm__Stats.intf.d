@@ -1,0 +1,1 @@
+lib/vmm/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/vmm/tlb.ml: Array Stats

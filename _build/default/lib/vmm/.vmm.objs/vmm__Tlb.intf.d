@@ -1,0 +1,1 @@
+lib/vmm/tlb.mli: Frame_table Stats

@@ -1,0 +1,16 @@
+type t = int
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_index a = a lsr page_shift
+let page_base a = a land lnot (page_size - 1)
+let offset a = a land (page_size - 1)
+let of_page i = i lsl page_shift
+let is_page_aligned a = offset a = 0
+let align_up a = (a + page_size - 1) land lnot (page_size - 1)
+
+let pages_spanning a size =
+  assert (size > 0);
+  page_index (a + size - 1) - page_index a + 1
+
+let pp ppf a = Format.fprintf ppf "0x%x" a

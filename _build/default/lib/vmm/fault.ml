@@ -1,0 +1,20 @@
+type t =
+  | Unmapped of { addr : Addr.t; access : Perm.access }
+  | Protection of { addr : Addr.t; access : Perm.access; perm : Perm.t }
+
+exception Trap of t
+
+let addr = function
+  | Unmapped { addr; _ } | Protection { addr; _ } -> addr
+
+let access = function
+  | Unmapped { access; _ } | Protection { access; _ } -> access
+
+let pp ppf = function
+  | Unmapped { addr; access } ->
+    Format.fprintf ppf "unmapped %a at %a" Perm.pp_access access Addr.pp addr
+  | Protection { addr; access; perm } ->
+    Format.fprintf ppf "protection fault: %a at %a (page is %a)"
+      Perm.pp_access access Addr.pp addr Perm.pp perm
+
+let to_string t = Format.asprintf "%a" pp t

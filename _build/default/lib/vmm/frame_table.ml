@@ -1,0 +1,43 @@
+type frame = int
+
+type slot = { storage : Bytes.t; mutable refs : int }
+
+type t = {
+  frames : (frame, slot) Hashtbl.t;
+  mutable next : frame;
+  mutable peak : int;
+}
+
+let create () = { frames = Hashtbl.create 1024; next = 0; peak = 0 }
+
+let allocate t stats =
+  let f = t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.frames f { storage = Bytes.make Addr.page_size '\000'; refs = 0 };
+  Stats.count_frame_allocated stats;
+  let live = Hashtbl.length t.frames in
+  if live > t.peak then t.peak <- live;
+  f
+
+let slot t f =
+  match Hashtbl.find_opt t.frames f with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Frame_table: unknown frame %d" f)
+
+let incr_ref t f =
+  let s = slot t f in
+  s.refs <- s.refs + 1
+
+let decr_ref t f =
+  let s = slot t f in
+  s.refs <- s.refs - 1;
+  assert (s.refs >= 0);
+  if s.refs = 0 then Hashtbl.remove t.frames f
+
+let ref_count t f = (slot t f).refs
+let live_frames t = Hashtbl.length t.frames
+let peak_frames t = t.peak
+
+let read_byte t f off = Char.code (Bytes.get (slot t f).storage off)
+let write_byte t f off v = Bytes.set (slot t f).storage off (Char.chr (v land 0xff))
+let exists t f = Hashtbl.mem t.frames f

@@ -1,0 +1,35 @@
+(** Physical memory: a growable set of reference-counted page frames.
+
+    Each frame is one page of byte storage.  Frames are reference-counted
+    because the whole point of the paper's scheme is that several virtual
+    pages (one canonical, many shadow) alias one physical frame; a frame
+    is released only when its last mapping is removed. *)
+
+type t
+type frame = int (** Physical frame number. *)
+
+val create : unit -> t
+
+val allocate : t -> Stats.t -> frame
+(** Allocate a zeroed frame with reference count 0 (the caller maps it,
+    which takes the first reference). *)
+
+val incr_ref : t -> frame -> unit
+val decr_ref : t -> frame -> unit
+(** Release one mapping reference.  The frame's storage is reclaimed when
+    the count drops to zero. *)
+
+val ref_count : t -> frame -> int
+val live_frames : t -> int
+(** Number of frames currently allocated — the program's physical memory
+    footprint in pages. *)
+
+val peak_frames : t -> int
+(** High-water mark of {!live_frames}. *)
+
+val read_byte : t -> frame -> int -> int
+val write_byte : t -> frame -> int -> int -> unit
+(** [read_byte t f off] / [write_byte t f off v]: byte access within a
+    frame; [off] in [\[0, page_size)], [v] in [\[0, 256)]. *)
+
+val exists : t -> frame -> bool

@@ -1,0 +1,96 @@
+let check_aligned name addr =
+  if not (Addr.is_page_aligned addr) then
+    invalid_arg (Printf.sprintf "Kernel.%s: unaligned address 0x%x" name addr)
+
+let check_pages name pages =
+  if pages <= 0 then invalid_arg (Printf.sprintf "Kernel.%s: pages <= 0" name)
+
+(* Install a mapping for one page, releasing any previous mapping of that
+   virtual page first (MAP_FIXED semantics). *)
+let map_page (m : Machine.t) page frame perm =
+  (match Page_table.lookup m.page_table ~page with
+   | Some old ->
+     ignore (Page_table.unmap m.page_table ~page);
+     Tlb.invalidate_page m.tlb ~page;
+     Frame_table.decr_ref m.frames old.frame
+   | None -> ());
+  Page_table.map m.page_table m.stats ~page ~frame ~perm;
+  Frame_table.incr_ref m.frames frame
+
+let map_fresh_range (m : Machine.t) base pages =
+  for i = 0 to pages - 1 do
+    let frame = Frame_table.allocate m.frames m.stats in
+    map_page m (Addr.page_index base + i) frame Perm.Read_write
+  done
+
+let mmap (m : Machine.t) ~pages =
+  check_pages "mmap" pages;
+  Stats.count_syscall m.stats Stats.Sys_mmap;
+  let base = Machine.fresh_pages m pages in
+  map_fresh_range m base pages;
+  base
+
+let mmap_fixed (m : Machine.t) ~addr ~pages =
+  check_aligned "mmap_fixed" addr;
+  check_pages "mmap_fixed" pages;
+  Stats.count_syscall m.stats Stats.Sys_mmap;
+  map_fresh_range m addr pages
+
+let frame_of_mapped (m : Machine.t) page =
+  match Page_table.lookup m.page_table ~page with
+  | Some { frame; _ } -> frame
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Kernel.mremap: source page %d not mapped" page)
+
+let alias_range (m : Machine.t) ~src ~dst ~pages =
+  (* Collect source frames first: if the ranges overlap, remapping the
+     destination must not disturb a source page read later. *)
+  let src_page = Addr.page_index src in
+  let frames = Array.init pages (fun i -> frame_of_mapped m (src_page + i)) in
+  Array.iteri
+    (fun i frame -> map_page m (Addr.page_index dst + i) frame Perm.Read_write)
+    frames
+
+let mremap_alias (m : Machine.t) ~src ~pages =
+  check_aligned "mremap_alias" src;
+  check_pages "mremap_alias" pages;
+  Stats.count_syscall m.stats Stats.Sys_mremap;
+  let dst = Machine.fresh_pages m pages in
+  alias_range m ~src ~dst ~pages;
+  dst
+
+let mremap_alias_at (m : Machine.t) ~src ~dst ~pages =
+  check_aligned "mremap_alias_at" src;
+  check_aligned "mremap_alias_at" dst;
+  check_pages "mremap_alias_at" pages;
+  Stats.count_syscall m.stats Stats.Sys_mremap;
+  alias_range m ~src ~dst ~pages
+
+let mprotect (m : Machine.t) ~addr ~pages perm =
+  check_aligned "mprotect" addr;
+  check_pages "mprotect" pages;
+  Stats.count_syscall m.stats Stats.Sys_mprotect;
+  for i = 0 to pages - 1 do
+    let page = Addr.page_index addr + i in
+    Page_table.set_perm m.page_table ~page perm;
+    Tlb.invalidate_page m.tlb ~page
+  done
+
+let munmap (m : Machine.t) ~addr ~pages =
+  check_aligned "munmap" addr;
+  check_pages "munmap" pages;
+  Stats.count_syscall m.stats Stats.Sys_munmap;
+  for i = 0 to pages - 1 do
+    let page = Addr.page_index addr + i in
+    let entry = Page_table.unmap m.page_table ~page in
+    Tlb.invalidate_page m.tlb ~page;
+    Frame_table.decr_ref m.frames entry.frame
+  done
+
+let dummy_syscall (m : Machine.t) = Stats.count_syscall m.stats Stats.Sys_dummy
+
+let page_perm (m : Machine.t) addr =
+  match Page_table.lookup m.page_table ~page:(Addr.page_index addr) with
+  | Some { perm; _ } -> Some perm
+  | None -> None

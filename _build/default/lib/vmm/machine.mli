@@ -1,0 +1,34 @@
+(** A simulated machine: physical memory, a page table, a TLB, and event
+    counters, under a given cost model.
+
+    The MMU ({!Mmu}) and the kernel ({!Kernel}) both operate on a
+    [Machine.t]; user-level code (allocators, workloads) never touches
+    frames directly. *)
+
+type t = {
+  frames : Frame_table.t;
+  page_table : Page_table.t;
+  tlb : Tlb.t;
+  cache : Cache.t;  (** physically-indexed data cache (stats-only by default) *)
+  stats : Stats.t;
+  mutable cost : Cost_model.t;
+  mutable next_va : Addr.t;  (** bump pointer for fresh virtual regions *)
+}
+
+val create : ?cost:Cost_model.t -> ?tlb_entries:int -> unit -> t
+(** Fresh machine.  The virtual address space starts at a non-zero base
+    so that address 0 is never valid (null-pointer hygiene). *)
+
+val fresh_pages : t -> int -> Addr.t
+(** Reserve [n] pages of *virtual address space* (no mapping is
+    installed); returns the base address.  This models the kernel's
+    choice of a fresh VA range for [mmap]/[mremap]. *)
+
+val cycles : t -> float
+(** Simulated cycles consumed so far, under the machine's cost model. *)
+
+val cycles_since : t -> Stats.snapshot -> float
+
+val va_bytes_used : t -> int
+(** Total virtual address space ever handed out, in bytes — the paper's
+    §3.4 exhaustion metric. *)

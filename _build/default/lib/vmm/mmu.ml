@@ -1,0 +1,113 @@
+let valid_width w =
+  match w with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg (Printf.sprintf "Mmu: invalid access width %d" w)
+
+(* Translate one page, using the TLB, and check permissions against the
+   page table (permission changes must take effect immediately, as an OS
+   performs a TLB shootdown on mprotect). *)
+let translate (m : Machine.t) addr access =
+  let page = Addr.page_index addr in
+  match Page_table.lookup m.page_table ~page with
+  | None ->
+    Stats.count_fault m.stats;
+    raise (Fault.Trap (Fault.Unmapped { addr; access }))
+  | Some { frame; perm } ->
+    if not (Perm.allows perm access) then begin
+      Stats.count_fault m.stats;
+      raise (Fault.Trap (Fault.Protection { addr; access; perm }))
+    end;
+    (match Tlb.lookup m.tlb m.stats ~page with
+     | Some f -> assert (f = frame)
+     | None -> Tlb.insert m.tlb ~page ~frame);
+    Cache.access m.cache m.stats
+      ~phys_addr:((frame * Addr.page_size) + Addr.offset addr);
+    frame
+
+let read_bytes m addr width access =
+  let rec go i acc =
+    if i >= width then acc
+    else
+      let a = addr + i in
+      let frame = translate m a access in
+      let b = Frame_table.read_byte m.Machine.frames frame (Addr.offset a) in
+      go (i + 1) (acc lor (b lsl (8 * i)))
+  in
+  (* Fast path: the whole access sits in one page (the common case). *)
+  if Addr.page_index addr = Addr.page_index (addr + width - 1) then begin
+    let frame = translate m addr access in
+    let off = Addr.offset addr in
+    let rec bytes i acc =
+      if i >= width then acc
+      else
+        let b = Frame_table.read_byte m.Machine.frames frame (off + i) in
+        bytes (i + 1) (acc lor (b lsl (8 * i)))
+    in
+    bytes 0 0
+  end
+  else go 0 0
+
+let write_bytes m addr width v access =
+  let put frame off i =
+    Frame_table.write_byte m.Machine.frames frame off ((v lsr (8 * i)) land 0xff)
+  in
+  if Addr.page_index addr = Addr.page_index (addr + width - 1) then begin
+    let frame = translate m addr access in
+    let off = Addr.offset addr in
+    for i = 0 to width - 1 do
+      put frame (off + i) i
+    done
+  end
+  else
+    for i = 0 to width - 1 do
+      let a = addr + i in
+      let frame = translate m a access in
+      put frame (Addr.offset a) i
+    done
+
+let load m addr ~width =
+  valid_width width;
+  Stats.count_load m.Machine.stats;
+  read_bytes m addr width Perm.Read
+
+let store m addr ~width v =
+  valid_width width;
+  Stats.count_store m.Machine.stats;
+  write_bytes m addr width v Perm.Write
+
+(* Kernel-mode accessors walk the page table directly: no TLB traffic, no
+   permission check, no user-level event counting. *)
+let kernel_frame (m : Machine.t) addr =
+  let page = Addr.page_index addr in
+  match Page_table.lookup m.page_table ~page with
+  | Some { frame; _ } -> frame
+  | None -> raise (Fault.Trap (Fault.Unmapped { addr; access = Perm.Read }))
+
+let load_exempt m addr ~width =
+  valid_width width;
+  let rec go i acc =
+    if i >= width then acc
+    else
+      let a = addr + i in
+      let frame = kernel_frame m a in
+      let b = Frame_table.read_byte m.Machine.frames frame (Addr.offset a) in
+      go (i + 1) (acc lor (b lsl (8 * i)))
+  in
+  go 0 0
+
+let store_exempt m addr ~width v =
+  valid_width width;
+  for i = 0 to width - 1 do
+    let a = addr + i in
+    let frame = kernel_frame m a in
+    Frame_table.write_byte m.Machine.frames frame (Addr.offset a)
+      ((v lsr (8 * i)) land 0xff)
+  done
+
+let probe (m : Machine.t) addr ~access =
+  let page = Addr.page_index addr in
+  match Page_table.lookup m.page_table ~page with
+  | None -> Error (Fault.Unmapped { addr; access })
+  | Some { perm; _ } ->
+    if Perm.allows perm access then Ok ()
+    else Error (Fault.Protection { addr; access; perm })

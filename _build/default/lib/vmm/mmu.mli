@@ -1,0 +1,27 @@
+(** The memory management unit: address translation and the hardware
+    permission check performed on {e every} access.
+
+    This is the mechanism the paper leans on: instead of inserting
+    software checks on loads and stores, the scheme arranges page
+    protections so that the MMU's existing per-access check catches
+    dangling uses for free.  A failed check raises {!Fault.Trap}, the
+    simulator's SIGSEGV. *)
+
+val load : Machine.t -> Addr.t -> width:int -> int
+(** [load m a ~width] reads a [width]-byte little-endian integer
+    ([width] in 1/2/4/8).  Counts one load, probes the TLB per page
+    touched, and raises {!Fault.Trap} on an unmapped page or a
+    protection violation. *)
+
+val store : Machine.t -> Addr.t -> width:int -> int -> unit
+(** Write counterpart of {!load}. *)
+
+val load_exempt : Machine.t -> Addr.t -> width:int -> int
+val store_exempt : Machine.t -> Addr.t -> width:int -> int -> unit
+(** Kernel-mode access: ignores permissions (but not mappings) and does
+    not count user loads/stores or TLB traffic.  Used by the simulated
+    kernel and by debuggers; never by workload code. *)
+
+val probe : Machine.t -> Addr.t -> access:Perm.access -> (unit, Fault.t) result
+(** Check whether an access would succeed, without performing it or
+    counting events.  Used by tests and by fault-report rendering. *)

@@ -1,0 +1,29 @@
+type entry = { frame : Frame_table.frame; perm : Perm.t }
+type t = (int, entry) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+
+let map t stats ~page ~frame ~perm =
+  if Hashtbl.mem t page then
+    invalid_arg (Printf.sprintf "Page_table.map: page %d already mapped" page);
+  Hashtbl.replace t page { frame; perm };
+  Stats.count_page_mapped stats
+
+let unmap t ~page =
+  match Hashtbl.find_opt t page with
+  | Some e ->
+    Hashtbl.remove t page;
+    e
+  | None -> invalid_arg (Printf.sprintf "Page_table.unmap: page %d not mapped" page)
+
+let lookup t ~page = Hashtbl.find_opt t page
+
+let set_perm t ~page perm =
+  match Hashtbl.find_opt t page with
+  | Some e -> Hashtbl.replace t page { e with perm }
+  | None ->
+    invalid_arg (Printf.sprintf "Page_table.set_perm: page %d not mapped" page)
+
+let is_mapped t ~page = Hashtbl.mem t page
+let mapped_pages t = Hashtbl.length t
+let iter t f = Hashtbl.iter f t

@@ -1,0 +1,30 @@
+(** The per-process page table: virtual page -> (physical frame, permission).
+
+    This is the data structure the paper's whole detection argument rests
+    on: distinct virtual pages may map to one frame, and permissions are
+    per *virtual* page, so protecting a freed object's shadow page does
+    not disturb other objects sharing the frame. *)
+
+type t
+
+type entry = { frame : Frame_table.frame; perm : Perm.t }
+
+val create : unit -> t
+
+val map : t -> Stats.t -> page:int -> frame:Frame_table.frame -> perm:Perm.t -> unit
+(** Install a mapping for a virtual page.  The page must not already be
+    mapped (the kernel unmaps first when re-mapping). *)
+
+val unmap : t -> page:int -> entry
+(** Remove and return the entry; raises [Invalid_argument] if unmapped. *)
+
+val lookup : t -> page:int -> entry option
+
+val set_perm : t -> page:int -> Perm.t -> unit
+(** Change protection bits; raises [Invalid_argument] if unmapped. *)
+
+val is_mapped : t -> page:int -> bool
+val mapped_pages : t -> int
+(** Number of live virtual-page mappings (virtual memory footprint). *)
+
+val iter : t -> (int -> entry -> unit) -> unit

@@ -1,0 +1,30 @@
+type t =
+  | No_access
+  | Read_only
+  | Read_write
+
+type access =
+  | Read
+  | Write
+
+let allows perm access =
+  match perm, access with
+  | No_access, (Read | Write) -> false
+  | Read_only, Read -> true
+  | Read_only, Write -> false
+  | Read_write, (Read | Write) -> true
+
+let pp ppf = function
+  | No_access -> Format.pp_print_string ppf "---"
+  | Read_only -> Format.pp_print_string ppf "r--"
+  | Read_write -> Format.pp_print_string ppf "rw-"
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+let equal a b =
+  match a, b with
+  | No_access, No_access | Read_only, Read_only | Read_write, Read_write ->
+    true
+  | (No_access | Read_only | Read_write), _ -> false

@@ -1,0 +1,16 @@
+(** Page protection bits, the moral equivalent of [PROT_NONE] /
+    [PROT_READ] / [PROT_READ|PROT_WRITE]. *)
+
+type t =
+  | No_access  (** [PROT_NONE]: every access traps. *)
+  | Read_only  (** [PROT_READ]: stores trap. *)
+  | Read_write (** [PROT_READ|PROT_WRITE]. *)
+
+type access =
+  | Read
+  | Write
+
+val allows : t -> access -> bool
+val pp : Format.formatter -> t -> unit
+val pp_access : Format.formatter -> access -> unit
+val equal : t -> t -> bool

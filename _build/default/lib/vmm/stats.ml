@@ -1,0 +1,159 @@
+type syscall_kind =
+  | Sys_mmap
+  | Sys_mremap
+  | Sys_mprotect
+  | Sys_munmap
+  | Sys_dummy
+
+type t = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_flushes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable syscalls_mmap : int;
+  mutable syscalls_mremap : int;
+  mutable syscalls_mprotect : int;
+  mutable syscalls_munmap : int;
+  mutable syscalls_dummy : int;
+  mutable faults : int;
+  mutable pages_mapped : int;
+  mutable frames_allocated : int;
+}
+
+type snapshot = {
+  instructions : int;
+  loads : int;
+  stores : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_flushes : int;
+  cache_hits : int;
+  cache_misses : int;
+  syscalls_mmap : int;
+  syscalls_mremap : int;
+  syscalls_mprotect : int;
+  syscalls_munmap : int;
+  syscalls_dummy : int;
+  faults : int;
+  pages_mapped : int;
+  frames_allocated : int;
+}
+
+let create () : t =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_flushes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    syscalls_mmap = 0;
+    syscalls_mremap = 0;
+    syscalls_mprotect = 0;
+    syscalls_munmap = 0;
+    syscalls_dummy = 0;
+    faults = 0;
+    pages_mapped = 0;
+    frames_allocated = 0;
+  }
+
+let count_instructions (t : t) n = t.instructions <- t.instructions + n
+let count_load (t : t) = t.loads <- t.loads + 1
+let count_store (t : t) = t.stores <- t.stores + 1
+let count_tlb_hit (t : t) = t.tlb_hits <- t.tlb_hits + 1
+let count_tlb_miss (t : t) = t.tlb_misses <- t.tlb_misses + 1
+let count_tlb_flush (t : t) = t.tlb_flushes <- t.tlb_flushes + 1
+let count_cache_hit (t : t) = t.cache_hits <- t.cache_hits + 1
+let count_cache_miss (t : t) = t.cache_misses <- t.cache_misses + 1
+
+let count_syscall (t : t) = function
+  | Sys_mmap -> t.syscalls_mmap <- t.syscalls_mmap + 1
+  | Sys_mremap -> t.syscalls_mremap <- t.syscalls_mremap + 1
+  | Sys_mprotect -> t.syscalls_mprotect <- t.syscalls_mprotect + 1
+  | Sys_munmap -> t.syscalls_munmap <- t.syscalls_munmap + 1
+  | Sys_dummy -> t.syscalls_dummy <- t.syscalls_dummy + 1
+
+let count_fault (t : t) = t.faults <- t.faults + 1
+let count_page_mapped (t : t) = t.pages_mapped <- t.pages_mapped + 1
+let count_frame_allocated (t : t) = t.frames_allocated <- t.frames_allocated + 1
+
+let snapshot (t : t) : snapshot =
+  {
+    instructions = t.instructions;
+    loads = t.loads;
+    stores = t.stores;
+    tlb_hits = t.tlb_hits;
+    tlb_misses = t.tlb_misses;
+    tlb_flushes = t.tlb_flushes;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    syscalls_mmap = t.syscalls_mmap;
+    syscalls_mremap = t.syscalls_mremap;
+    syscalls_mprotect = t.syscalls_mprotect;
+    syscalls_munmap = t.syscalls_munmap;
+    syscalls_dummy = t.syscalls_dummy;
+    faults = t.faults;
+    pages_mapped = t.pages_mapped;
+    frames_allocated = t.frames_allocated;
+  }
+
+let zero : snapshot =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_flushes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    syscalls_mmap = 0;
+    syscalls_mremap = 0;
+    syscalls_mprotect = 0;
+    syscalls_munmap = 0;
+    syscalls_dummy = 0;
+    faults = 0;
+    pages_mapped = 0;
+    frames_allocated = 0;
+  }
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    instructions = a.instructions - b.instructions;
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    tlb_hits = a.tlb_hits - b.tlb_hits;
+    tlb_misses = a.tlb_misses - b.tlb_misses;
+    tlb_flushes = a.tlb_flushes - b.tlb_flushes;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    syscalls_mmap = a.syscalls_mmap - b.syscalls_mmap;
+    syscalls_mremap = a.syscalls_mremap - b.syscalls_mremap;
+    syscalls_mprotect = a.syscalls_mprotect - b.syscalls_mprotect;
+    syscalls_munmap = a.syscalls_munmap - b.syscalls_munmap;
+    syscalls_dummy = a.syscalls_dummy - b.syscalls_dummy;
+    faults = a.faults - b.faults;
+    pages_mapped = a.pages_mapped - b.pages_mapped;
+    frames_allocated = a.frames_allocated - b.frames_allocated;
+  }
+
+let total_syscalls s =
+  s.syscalls_mmap + s.syscalls_mremap + s.syscalls_mprotect + s.syscalls_munmap
+  + s.syscalls_dummy
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>instructions: %d@ loads: %d@ stores: %d@ tlb hits/misses: %d/%d@ \
+     cache hits/misses: %d/%d@ \
+     syscalls (mmap/mremap/mprotect/munmap/dummy): %d/%d/%d/%d/%d@ faults: \
+     %d@ pages mapped: %d@ frames allocated: %d@]"
+    s.instructions s.loads s.stores s.tlb_hits s.tlb_misses s.cache_hits
+    s.cache_misses s.syscalls_mmap
+    s.syscalls_mremap s.syscalls_mprotect s.syscalls_munmap s.syscalls_dummy
+    s.faults s.pages_mapped s.frames_allocated

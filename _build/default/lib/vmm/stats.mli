@@ -1,0 +1,58 @@
+(** Event counters for a simulated machine.
+
+    Every MMU access, TLB lookup, syscall and fault is counted here; the
+    {!Cost_model} turns a snapshot of these counters into simulated
+    cycles.  Counters are monotonically increasing; use {!snapshot} and
+    {!diff} to measure a region of execution. *)
+
+type t
+
+type syscall_kind =
+  | Sys_mmap
+  | Sys_mremap   (** shadow-page aliasing, the paper's per-allocation call *)
+  | Sys_mprotect (** page protection flip, the paper's per-free call *)
+  | Sys_munmap
+  | Sys_dummy    (** no-op syscall used by the "PA + dummy syscalls" column *)
+
+type snapshot = {
+  instructions : int;  (** non-memory work accounted by workloads *)
+  loads : int;
+  stores : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_flushes : int;
+  cache_hits : int;
+  cache_misses : int;
+  syscalls_mmap : int;
+  syscalls_mremap : int;
+  syscalls_mprotect : int;
+  syscalls_munmap : int;
+  syscalls_dummy : int;
+  faults : int;
+  pages_mapped : int;      (** page-table entries created, cumulative *)
+  frames_allocated : int;  (** physical frames ever allocated, cumulative *)
+}
+
+val create : unit -> t
+
+val count_instructions : t -> int -> unit
+val count_load : t -> unit
+val count_store : t -> unit
+val count_tlb_hit : t -> unit
+val count_tlb_miss : t -> unit
+val count_tlb_flush : t -> unit
+val count_cache_hit : t -> unit
+val count_cache_miss : t -> unit
+val count_syscall : t -> syscall_kind -> unit
+val count_fault : t -> unit
+val count_page_mapped : t -> unit
+val count_frame_allocated : t -> unit
+
+val snapshot : t -> snapshot
+val zero : snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference. *)
+
+val total_syscalls : snapshot -> int
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,70 @@
+(* Set-associative, LRU per set.  Each set is a small array of slots; the
+   LRU order is tracked with a monotonically increasing use stamp. *)
+
+type slot = { mutable page : int; mutable frame : int; mutable stamp : int }
+
+type t = {
+  sets : slot array array;
+  n_sets : int;
+  mutable clock : int;
+}
+
+let invalid_page = -1
+
+let create ?(entries = 64) ?(ways = 4) () =
+  if entries mod ways <> 0 then invalid_arg "Tlb.create: entries mod ways <> 0";
+  let n_sets = entries / ways in
+  let make_slot _ = { page = invalid_page; frame = 0; stamp = 0 } in
+  {
+    sets = Array.init n_sets (fun _ -> Array.init ways make_slot);
+    n_sets;
+    clock = 0;
+  }
+
+let set_of t page = t.sets.(page mod t.n_sets)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let lookup t stats ~page =
+  let set = set_of t page in
+  let rec find i =
+    if i >= Array.length set then None
+    else if set.(i).page = page then begin
+      set.(i).stamp <- tick t;
+      Some set.(i).frame
+    end
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some frame ->
+    Stats.count_tlb_hit stats;
+    Some frame
+  | None ->
+    Stats.count_tlb_miss stats;
+    None
+
+let insert t ~page ~frame =
+  let set = set_of t page in
+  (* Reuse an existing slot for this page if present, else evict LRU. *)
+  let victim = ref set.(0) in
+  Array.iter
+    (fun s ->
+      if s.page = page then victim := s
+      else if !victim.page <> page && s.stamp < !victim.stamp then victim := s)
+    set;
+  let v = !victim in
+  v.page <- page;
+  v.frame <- frame;
+  v.stamp <- tick t
+
+let invalidate_page t ~page =
+  let set = set_of t page in
+  Array.iter (fun s -> if s.page = page then s.page <- invalid_page) set
+
+let flush t stats =
+  Array.iter (fun set -> Array.iter (fun s -> s.page <- invalid_page) set) t.sets;
+  Stats.count_tlb_flush stats
+
+let capacity t = t.n_sets * Array.length t.sets.(0)

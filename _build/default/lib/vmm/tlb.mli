@@ -1,0 +1,31 @@
+(** A set-associative translation lookaside buffer model.
+
+    The paper's second overhead source is TLB pressure: every live object
+    sits on its own virtual page, so programs touch far more distinct
+    pages than their native versions.  We model a small data TLB
+    (default: 64 entries, 4-way, LRU within a set) and charge
+    {!Cost_model.t.tlb_miss_penalty} per miss.
+
+    Cached entries are translations only; permissions are re-checked in
+    the page table on every access (hardware TLBs cache protection bits
+    too, but OSes shoot them down on [mprotect] — invalidation on
+    permission change is modeled by {!invalidate_page}). *)
+
+type t
+
+val create : ?entries:int -> ?ways:int -> unit -> t
+(** Default: 64 entries, 4 ways. [entries] must be a multiple of [ways]. *)
+
+val lookup : t -> Stats.t -> page:int -> Frame_table.frame option
+(** Probe the TLB; counts a hit or a miss. *)
+
+val insert : t -> page:int -> frame:Frame_table.frame -> unit
+(** Fill after a page-table walk (evicts LRU way of the set). *)
+
+val invalidate_page : t -> page:int -> unit
+(** Single-page shootdown (on [mprotect]/[munmap]/remap). *)
+
+val flush : t -> Stats.t -> unit
+(** Full flush (e.g. on simulated [fork]/context switch). *)
+
+val capacity : t -> int

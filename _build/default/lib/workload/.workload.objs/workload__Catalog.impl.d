@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: List Olden_bh Olden_bisort Olden_em3d Olden_health Olden_mst Olden_perimeter Olden_power Olden_treeadd Olden_tsp Servers Spec Util_enscript Util_gzip Util_jwhois Util_patch

@@ -1,0 +1,1 @@
+lib/workload/fault_injection.ml: Heap Printf Runtime Shadow Vmm

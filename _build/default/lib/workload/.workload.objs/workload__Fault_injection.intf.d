@@ -1,0 +1,1 @@
+lib/workload/fault_injection.mli: Runtime Shadow

@@ -1,0 +1,1 @@
+lib/workload/olden_bh.ml: Array Prng Runtime Spec

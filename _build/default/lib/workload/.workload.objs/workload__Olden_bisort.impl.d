@@ -1,0 +1,1 @@
+lib/workload/olden_bisort.ml: Prng Runtime Spec

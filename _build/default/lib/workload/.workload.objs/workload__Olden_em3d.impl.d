@@ -1,0 +1,1 @@
+lib/workload/olden_em3d.ml: Prng Runtime Spec

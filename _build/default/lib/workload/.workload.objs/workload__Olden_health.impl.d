@@ -1,0 +1,1 @@
+lib/workload/olden_health.ml: Prng Runtime Spec

@@ -1,0 +1,1 @@
+lib/workload/olden_mst.mli: Spec

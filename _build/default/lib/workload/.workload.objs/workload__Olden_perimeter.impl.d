@@ -1,0 +1,1 @@
+lib/workload/olden_perimeter.ml: List Runtime Spec

@@ -1,0 +1,1 @@
+lib/workload/olden_perimeter.mli: Spec

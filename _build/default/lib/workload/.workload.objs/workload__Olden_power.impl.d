@@ -1,0 +1,1 @@
+lib/workload/olden_power.ml: Prng Runtime Spec

@@ -1,0 +1,1 @@
+lib/workload/olden_tsp.ml: Prng Runtime Spec

@@ -1,0 +1,1 @@
+lib/workload/servers.ml: List Runtime Spec

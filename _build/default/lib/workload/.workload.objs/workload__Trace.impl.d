@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Hashtbl List Option Printf Prng Runtime Shadow String Vmm

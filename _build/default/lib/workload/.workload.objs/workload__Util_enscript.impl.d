@@ -1,0 +1,1 @@
+lib/workload/util_enscript.ml: Prng Runtime Spec

@@ -1,0 +1,1 @@
+lib/workload/util_jwhois.mli: Spec

@@ -1,0 +1,1 @@
+lib/workload/util_patch.ml: Prng Runtime Spec

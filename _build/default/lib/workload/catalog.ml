@@ -1,0 +1,24 @@
+let utilities =
+  [ Util_enscript.batch; Util_jwhois.batch; Util_patch.batch; Util_gzip.batch ]
+
+let olden =
+  [
+    Olden_bh.batch;
+    Olden_bisort.batch;
+    Olden_em3d.batch;
+    Olden_health.batch;
+    Olden_mst.batch;
+    Olden_perimeter.batch;
+    Olden_power.batch;
+    Olden_treeadd.batch;
+    Olden_tsp.batch;
+  ]
+
+let batches = utilities @ olden
+let servers = Servers.all
+
+let find_batch name =
+  List.find_opt (fun b -> b.Spec.name = name) batches
+
+let find_server name =
+  List.find_opt (fun s -> s.Spec.s_name = name) servers

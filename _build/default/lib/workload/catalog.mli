@@ -1,0 +1,18 @@
+(** The full workload catalogue, in the order the paper's tables list
+    them. *)
+
+val utilities : Spec.batch list
+(** Table 1 top half: enscript, jwhois, patch, gzip. *)
+
+val olden : Spec.batch list
+(** Table 3: bh, bisort, em3d, health, mst, perimeter, power, treeadd,
+    tsp. *)
+
+val batches : Spec.batch list
+(** [utilities @ olden]. *)
+
+val servers : Spec.server list
+(** Table 1 bottom half + §4.3: ghttpd, ftpd, fingerd, tftpd, telnetd. *)
+
+val find_batch : string -> Spec.batch option
+val find_server : string -> Spec.server option

@@ -1,0 +1,46 @@
+(** Temporal-error injection scenarios, used by the detection-guarantee
+    matrix (the experimental counterpart of the paper's §5 comparison):
+    each scenario commits a specific bug under a given scheme, and the
+    harness records whether the scheme caught it, missed it silently, or
+    crashed without diagnosis. *)
+
+type outcome =
+  | Detected of Shadow.Report.t  (** scheme raised a diagnosed violation *)
+  | Silent of int
+      (** the bad access went through; carries the (stale or reused)
+          value that was read *)
+  | Crashed of string  (** undiagnosed fault or allocator corruption *)
+
+type scenario = {
+  sc_name : string;
+  sc_description : string;
+  inject : Runtime.Scheme.t -> outcome;
+}
+
+val read_after_free : scenario
+(** Free an object, immediately read through the stale pointer. *)
+
+val write_after_free : scenario
+val double_free : scenario
+val invalid_free : scenario
+(** Free an interior pointer. *)
+
+val read_after_free_with_reuse : scenario
+(** Free, then allocate enough same-sized objects that the memory is
+    recycled, then read through the stale pointer — the case that
+    defeats quarantine heuristics but not the paper's scheme. *)
+
+val dangling_after_many_allocations : int -> scenario
+(** Parameterised gap between the free and the stale use. *)
+
+val all : scenario list
+(** The temporal scenarios (the paper's scope). *)
+
+val overflow_read : scenario
+val overflow_write : scenario
+
+val spatial : scenario list
+(** Buffer-overflow scenarios — out of scope for the base scheme, caught
+    by the combined spatial+temporal configuration. *)
+
+val outcome_label : outcome -> string

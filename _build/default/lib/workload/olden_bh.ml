@@ -1,0 +1,135 @@
+open Runtime.Workload_api
+
+(* body = { x; y; vx; vy }  cell = { mass; cx; cy; child0..3; is_leaf; body } *)
+let body_size = 4 * word
+let cell_size = 9 * word
+let space = 1 lsl 16
+let child_field i = 3 + i
+
+let quadrant x y cx cy =
+  (if x >= cx then 1 else 0) lor if y >= cy then 2 else 0
+
+let new_cell scheme (pool : Runtime.Scheme.pool_handle) =
+  let c = pool.pool_alloc ~site:"bh:cell" cell_size in
+  for i = 0 to 8 do
+    store_field scheme c i 0
+  done;
+  c
+
+(* Insert a body into the quadtree rooted at [cell] covering the square
+   centred (cx, cy) with half-size [half]. *)
+let rec insert scheme pool cell body cx cy half =
+  let bx = load_field scheme body 0 in
+  let by = load_field scheme body 1 in
+  (* Update aggregate mass / centre (fixed point, mass 1 per body). *)
+  let m = load_field scheme cell 0 in
+  store_field scheme cell 0 (m + 1);
+  store_field scheme cell 1 (((load_field scheme cell 1 * m) + bx) / (m + 1));
+  store_field scheme cell 2 (((load_field scheme cell 2 * m) + by) / (m + 1));
+  if load_field scheme cell 7 = 1 then begin
+    (* Leaf holding one body: split. *)
+    let old = load_field scheme cell 8 in
+    store_field scheme cell 7 0;
+    store_field scheme cell 8 0;
+    push_down scheme pool cell old cx cy half;
+    push_down scheme pool cell body cx cy half
+  end
+  else if load_field scheme cell 0 = 1 then begin
+    (* Fresh empty cell: become a leaf. *)
+    store_field scheme cell 7 1;
+    store_field scheme cell 8 body
+  end
+  else push_down scheme pool cell body cx cy half
+
+and push_down scheme pool cell body cx cy half =
+  let bx = load_field scheme body 0 in
+  let by = load_field scheme body 1 in
+  let q = quadrant bx by cx cy in
+  let child =
+    match load_field scheme cell (child_field q) with
+    | 0 ->
+      let c = new_cell scheme pool in
+      store_field scheme cell (child_field q) c;
+      c
+    | c -> c
+  in
+  let h = max 1 (half / 2) in
+  let ncx = cx + if q land 1 = 1 then h else -h in
+  let ncy = cy + if q land 2 = 2 then h else -h in
+  insert scheme pool child body ncx ncy h
+
+(* Approximate force on (x, y) from the tree: descend until the cell is
+   far enough (half/dist below threshold) or a leaf. *)
+let rec force scheme cell x y half =
+  if cell = 0 || load_field scheme cell 0 = 0 then (0, 0)
+  else begin
+    (scheme : Runtime.Scheme.t).compute 48;
+    let cx = load_field scheme cell 1 in
+    let cy = load_field scheme cell 2 in
+    let dx = cx - x and dy = cy - y in
+    let dist2 = (dx * dx) + (dy * dy) + 1 in
+    let m = load_field scheme cell 0 in
+    if load_field scheme cell 7 = 1 || half * half * 4 < dist2 then
+      (m * dx * 64 / dist2, m * dy * 64 / dist2)
+    else begin
+      let fx = ref 0 and fy = ref 0 in
+      for q = 0 to 3 do
+        let gx, gy =
+          force scheme (load_field scheme cell (child_field q)) x y (half / 2)
+        in
+        fx := !fx + gx;
+        fy := !fy + gy
+      done;
+      (!fx, !fy)
+    end
+  end
+
+let run scheme ~scale =
+  let n = scale in
+  let steps = 4 in
+  with_pool scheme ~elem_size:body_size (fun bodies_pool ->
+      let rng = Prng.create ~seed:3 in
+      let bodies = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let b = bodies_pool.Runtime.Scheme.pool_alloc ~site:"bh:body" body_size in
+        store_field scheme b 0 (Prng.below rng space);
+        store_field scheme b 1 (Prng.below rng space);
+        store_field scheme b 2 0;
+        store_field scheme b 3 0;
+        bodies.(i) <- b
+      done;
+      for _ = 1 to steps do
+        (* Fresh tree pool per step: destroyed (and its pages recycled)
+           when the step ends. *)
+        with_pool scheme ~elem_size:cell_size (fun tree_pool ->
+            let root = new_cell scheme tree_pool in
+            Array.iter
+              (fun b ->
+                insert scheme tree_pool root b (space / 2) (space / 2)
+                  (space / 2))
+              bodies;
+            Array.iter
+              (fun b ->
+                let x = load_field scheme b 0 in
+                let y = load_field scheme b 1 in
+                let fx, fy = force scheme root x y (space / 2) in
+                let clamp v = max 0 (min (space - 1) v) in
+                let vx = load_field scheme b 2 + fx in
+                let vy = load_field scheme b 3 + fy in
+                store_field scheme b 2 vx;
+                store_field scheme b 3 vy;
+                store_field scheme b 0 (clamp (x + (vx / 16)));
+                store_field scheme b 1 (clamp (y + (vy / 16))))
+              bodies)
+      done)
+
+let batch =
+  {
+    Spec.name = "bh";
+    category = Spec.Olden;
+    description = "Barnes-Hut N-body with a fresh quadtree pool per step";
+    paper = { Spec.loc = None; ratio1 = Some 3.70; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 220;
+    run;
+  }

@@ -1,0 +1,7 @@
+(** Olden [bh]: Barnes-Hut N-body simulation in fixed-point arithmetic.
+    Each timestep builds a fresh quadtree over the bodies (a burst of
+    allocations), computes approximate forces by tree traversal, moves
+    the bodies, and discards the tree — the canonical per-iteration-pool
+    pattern Automatic Pool Allocation shines on. *)
+
+val batch : Spec.batch

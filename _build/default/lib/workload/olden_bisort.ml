@@ -1,0 +1,65 @@
+open Runtime.Workload_api
+
+(* node = { val; left; right } *)
+let node_size = 3 * word
+
+let rec build scheme (pool : Runtime.Scheme.pool_handle) rng depth =
+  if depth = 0 then 0
+  else begin
+    let n = pool.pool_alloc ~site:"bisort:node" node_size in
+    store_field scheme n 0 (Prng.below rng 1_000_000);
+    store_field scheme n 1 (build scheme pool rng (depth - 1));
+    store_field scheme n 2 (build scheme pool rng (depth - 1));
+    n
+  end
+
+(* Bitonic-flavoured merge: push the larger (or smaller, per [up]) value
+   toward the root, recursively; several passes approach sortedness.  The
+   point is the Olden access pattern — value compares and swaps over a
+   pointer tree — not a proof of full sortedness. *)
+let rec merge_pass scheme up n =
+  if n <> 0 then begin
+    (scheme : Runtime.Scheme.t).compute 95;
+    let l = load_field scheme n 1 in
+    let r = load_field scheme n 2 in
+    let swap_with child =
+      let v = load_field scheme n 0 in
+      let c = load_field scheme child 0 in
+      let keep, push = if up = (v > c) then (c, v) else (v, c) in
+      store_field scheme n 0 keep;
+      store_field scheme child 0 push
+    in
+    if l <> 0 then swap_with l;
+    if r <> 0 then swap_with r;
+    merge_pass scheme up l;
+    merge_pass scheme (not up) r
+  end
+
+let rec tree_sum scheme n =
+  if n = 0 then 0
+  else
+    load_field scheme n 0
+    + tree_sum scheme (load_field scheme n 1)
+    + tree_sum scheme (load_field scheme n 2)
+
+let run scheme ~scale =
+  with_pool scheme ~elem_size:node_size (fun pool ->
+      let rng = Prng.create ~seed:42 in
+      let root = build scheme pool rng scale in
+      let before = tree_sum scheme root in
+      for pass = 0 to scale - 1 do
+        merge_pass scheme (pass mod 2 = 0) root
+      done;
+      (* Swapping permutes values; the multiset (hence sum) is invariant. *)
+      assert (tree_sum scheme root = before))
+
+let batch =
+  {
+    Spec.name = "bisort";
+    category = Spec.Olden;
+    description = "bitonic-style value merges over a random binary tree";
+    paper = { Spec.loc = None; ratio1 = Some 3.22; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 12;
+    run;
+  }

@@ -1,0 +1,5 @@
+(** Olden [bisort]: bitonic-style sorting over a complete binary tree of
+    random values, by repeated value-swapping merge passes.  Heavy
+    read-modify-write traffic over freshly allocated nodes. *)
+
+val batch : Spec.batch

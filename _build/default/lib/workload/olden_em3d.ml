@@ -1,0 +1,70 @@
+open Runtime.Workload_api
+
+let degree = 4
+let timesteps = 12
+
+(* node = { value; neighbor_0..d-1; coeff_0..d-1 } *)
+let node_size = (1 + (2 * degree)) * word
+let neighbor_field i = 1 + i
+let coeff_field i = 1 + degree + i
+
+(* A side table object holding the addresses of all n nodes of one kind,
+   so we can pick random neighbours; large enough to span pages. *)
+let table_alloc (pool : Runtime.Scheme.pool_handle) n =
+  pool.pool_alloc ~site:"em3d:table" (n * word)
+
+let build_side scheme pool rng n =
+  let table = table_alloc pool n in
+  for i = 0 to n - 1 do
+    let node = pool.Runtime.Scheme.pool_alloc ~site:"em3d:node" node_size in
+    store_field scheme node 0 (Prng.below rng 1000);
+    store_field scheme table i node
+  done;
+  table
+
+let wire scheme rng n from_table to_table =
+  for i = 0 to n - 1 do
+    let node = load_field scheme from_table i in
+    for d = 0 to degree - 1 do
+      let other = load_field scheme to_table (Prng.below rng n) in
+      store_field scheme node (neighbor_field d) other;
+      store_field scheme node (coeff_field d) (1 + Prng.below rng 7)
+    done
+  done
+
+let propagate scheme n table =
+  for i = 0 to n - 1 do
+    (scheme : Runtime.Scheme.t).compute 1500;
+    let node = load_field scheme table i in
+    let v = ref (load_field scheme node 0) in
+    for d = 0 to degree - 1 do
+      let other = load_field scheme node (neighbor_field d) in
+      let coeff = load_field scheme node (coeff_field d) in
+      v := !v - (coeff * load_field scheme other 0 / 8)
+    done;
+    store_field scheme node 0 !v
+  done
+
+let run scheme ~scale =
+  let n = scale in
+  with_pool scheme ~elem_size:node_size (fun pool ->
+      let rng = Prng.create ~seed:7 in
+      let e_table = build_side scheme pool rng n in
+      let h_table = build_side scheme pool rng n in
+      wire scheme rng n e_table h_table;
+      wire scheme rng n h_table e_table;
+      for _ = 1 to timesteps do
+        propagate scheme n e_table;
+        propagate scheme n h_table
+      done)
+
+let batch =
+  {
+    Spec.name = "em3d";
+    category = Spec.Olden;
+    description = "wave propagation over an irregular bipartite graph";
+    paper = { Spec.loc = None; ratio1 = Some 1.23; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 600;
+    run;
+  }

@@ -1,0 +1,7 @@
+(** Olden [em3d]: electromagnetic wave propagation on an irregular
+    bipartite graph.  E-nodes update from H-node neighbours and vice
+    versa for several timesteps — few allocations, many irregular
+    reads, the access pattern that stresses the TLB under one-page-per-
+    object schemes. *)
+
+val batch : Spec.batch

@@ -1,0 +1,71 @@
+open Runtime.Workload_api
+
+(* village = { child0..3; patients_head; seed }  patient = { time; next } *)
+let village_size = 6 * word
+let patient_size = 2 * word
+let treatment_time = 3
+
+let rec build_villages scheme (pool : Runtime.Scheme.pool_handle) depth seed =
+  if depth = 0 then 0
+  else begin
+    let v = pool.pool_alloc ~site:"health:village" village_size in
+    for c = 0 to 3 do
+      store_field scheme v c (build_villages scheme pool (depth - 1) ((seed * 5) + c))
+    done;
+    store_field scheme v 4 0;
+    store_field scheme v 5 seed;
+    v
+  end
+
+let rec step scheme (patients : Runtime.Scheme.pool_handle) rng v =
+  if v <> 0 then begin
+    (scheme : Runtime.Scheme.t).compute 230;
+    for c = 0 to 3 do
+      step scheme patients rng (load_field scheme v c)
+    done;
+    (* Admit a new patient with probability 1/2. *)
+    if Prng.below rng 2 = 0 then begin
+      let p = patients.pool_alloc ~site:"health:patient" patient_size in
+      store_field scheme p 0 0;
+      store_field scheme p 1 (load_field scheme v 4);
+      store_field scheme v 4 p
+    end;
+    (* Treat the waiting list; discharge (free) finished patients. *)
+    let rec treat prev p =
+      if p <> 0 then begin
+        let time = load_field scheme p 0 + 1 in
+        let next = load_field scheme p 1 in
+        if time >= treatment_time then begin
+          (if prev = 0 then store_field scheme v 4 next
+           else store_field scheme prev 1 next);
+          patients.pool_free ~site:"health:discharge" p;
+          treat prev next
+        end
+        else begin
+          store_field scheme p 0 time;
+          treat p next
+        end
+      end
+    in
+    treat 0 (load_field scheme v 4)
+  end
+
+let run scheme ~scale =
+  with_pool scheme ~elem_size:village_size (fun villages ->
+      with_pool scheme ~elem_size:patient_size (fun patients ->
+          let rng = Prng.create ~seed:11 in
+          let root = build_villages scheme villages 5 1 in
+          for _ = 1 to scale do
+            step scheme patients rng root
+          done))
+
+let batch =
+  {
+    Spec.name = "health";
+    category = Spec.Olden;
+    description = "hospital simulation with per-step patient alloc/free churn";
+    paper = { Spec.loc = None; ratio1 = Some 11.24; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 40;
+    run;
+  }

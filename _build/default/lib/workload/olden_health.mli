@@ -1,0 +1,7 @@
+(** Olden [health]: the Colombian health-care simulation.  A 4-ary tree
+    of villages, each with a waiting list of patients; every timestep
+    generates new patients (allocations), advances treatment, and
+    discharges finished ones (frees).  The steady alloc/free churn makes
+    it one of the worst cases for per-allocation syscall overhead. *)
+
+val batch : Spec.batch

@@ -1,0 +1,76 @@
+open Runtime.Workload_api
+
+(* vertex = { mindist; in_tree; adj_head }  edge = { to; weight; next } *)
+let vertex_size = 3 * word
+let edge_size = 3 * word
+let degree = 6
+let infinity_dist = max_int / 2
+
+let weight_of rng = 1 + Prng.below rng 1024
+
+let run scheme ~scale =
+  let n = scale in
+  with_pool scheme ~elem_size:vertex_size (fun pool ->
+      let rng = Prng.create ~seed:23 in
+      let table = pool.Runtime.Scheme.pool_alloc ~site:"mst:table" (n * word) in
+      for i = 0 to n - 1 do
+        let v = pool.Runtime.Scheme.pool_alloc ~site:"mst:vertex" vertex_size in
+        store_field scheme v 0 infinity_dist;
+        store_field scheme v 1 0;
+        store_field scheme v 2 0;
+        store_field scheme table i v
+      done;
+      (* Hash-node adjacency: [degree] out-edges per vertex. *)
+      for i = 0 to n - 1 do
+        let v = load_field scheme table i in
+        for _ = 1 to degree do
+          let e = pool.Runtime.Scheme.pool_alloc ~site:"mst:edge" edge_size in
+          store_field scheme e 0 (load_field scheme table (Prng.below rng n));
+          store_field scheme e 1 (weight_of rng);
+          store_field scheme e 2 (load_field scheme v 2);
+          store_field scheme v 2 e
+        done
+      done;
+      (* Prim: n-1 extractions with linear scans (Olden's blocked list). *)
+      let start = load_field scheme table 0 in
+      store_field scheme start 0 0;
+      let total = ref 0 in
+      for _ = 1 to n do
+        let best = ref 0 in
+        let best_dist = ref infinity_dist in
+        for i = 0 to n - 1 do
+          (scheme : Runtime.Scheme.t).compute 14;
+          let v = load_field scheme table i in
+          if load_field scheme v 1 = 0 && load_field scheme v 0 < !best_dist
+          then begin
+            best := v;
+            best_dist := load_field scheme v 0
+          end
+        done;
+        if !best <> 0 then begin
+          store_field scheme !best 1 1;
+          if !best_dist < infinity_dist then total := !total + !best_dist;
+          let rec relax e =
+            if e <> 0 then begin
+              let u = load_field scheme e 0 in
+              let w = load_field scheme e 1 in
+              if load_field scheme u 1 = 0 && w < load_field scheme u 0 then
+                store_field scheme u 0 w;
+              relax (load_field scheme e 2)
+            end
+          in
+          relax (load_field scheme !best 2)
+        end
+      done;
+      assert (!total >= 0))
+
+let batch =
+  {
+    Spec.name = "mst";
+    category = Spec.Olden;
+    description = "Prim's MST over hash-node adjacency lists";
+    paper = { Spec.loc = None; ratio1 = Some 6.14; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 300;
+    run;
+  }

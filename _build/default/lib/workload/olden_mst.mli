@@ -1,0 +1,5 @@
+(** Olden [mst]: minimum spanning tree with Prim's algorithm over a
+    dense synthetic graph whose adjacency lists are heap-allocated hash
+    nodes — many small allocations followed by repeated scans. *)
+
+val batch : Spec.batch

@@ -1,0 +1,114 @@
+open Runtime.Workload_api
+
+(* node = { color; child0..3 }   color: 0 white, 1 black, 2 grey *)
+let node_size = 5 * word
+let white = 0
+let black = 1
+let grey = 2
+
+(* Synthetic image: a disc centred in the image.  A square is black when
+   all four corners are inside (the disc is convex), white when the
+   square does not intersect the disc at all (nearest point of the
+   square to the centre is outside), grey otherwise. *)
+let classify cx cy half size =
+  let r = size / 2 in
+  let dist2 x y =
+    let dx = x - r and dy = y - r in
+    (dx * dx) + (dy * dy)
+  in
+  let radius2 = r * r * 9 / 16 in
+  let corners =
+    [ (cx - half, cy - half); (cx + half, cy - half);
+      (cx - half, cy + half); (cx + half, cy + half) ]
+  in
+  if List.for_all (fun (x, y) -> dist2 x y <= radius2) corners then black
+  else begin
+    let clamp v lo hi = max lo (min hi v) in
+    let nx = clamp r (cx - half) (cx + half) in
+    let ny = clamp r (cy - half) (cy + half) in
+    if dist2 nx ny > radius2 then white else grey
+  end
+
+(* [build cx cy half] covers the square [cx-half, cx+half) squared. *)
+let rec build scheme (pool : Runtime.Scheme.pool_handle) cx cy half size =
+  let n = pool.pool_alloc ~site:"perimeter:node" node_size in
+  (scheme : Runtime.Scheme.t).compute 290;
+  let color = classify cx cy half size in
+  if color = grey && half >= 2 then begin
+    store_field scheme n 0 grey;
+    let q = half / 2 in
+    store_field scheme n 1 (build scheme pool (cx - q) (cy - q) q size);
+    store_field scheme n 2 (build scheme pool (cx + q) (cy - q) q size);
+    store_field scheme n 3 (build scheme pool (cx - q) (cy + q) q size);
+    store_field scheme n 4 (build scheme pool (cx + q) (cy + q) q size)
+  end
+  else begin
+    store_field scheme n 0 (if color = grey then black else color);
+    for c = 1 to 4 do
+      store_field scheme n c 0
+    done
+  end;
+  n
+
+(* Point query: is (x, y) inside the black region?  Descends from the
+   root — the quadtree neighbour-finding pattern of the real benchmark. *)
+let is_black scheme root size x y =
+  if x < 0 || y < 0 || x >= size || y >= size then false
+  else begin
+    let rec go n cx cy half =
+      if n = 0 then false
+      else
+        match load_field scheme n 0 with
+        | c when c = white -> false
+        | c when c = black -> true
+        | _ ->
+          let q = half / 2 in
+          if x < cx then
+            if y < cy then go (load_field scheme n 1) (cx - q) (cy - q) q
+            else go (load_field scheme n 3) (cx - q) (cy + q) q
+          else if y < cy then go (load_field scheme n 2) (cx + q) (cy - q) q
+          else go (load_field scheme n 4) (cx + q) (cy + q) q
+    in
+    go root (size / 2) (size / 2) (size / 2)
+  end
+
+(* Perimeter: every black leaf contributes its side length on each of its
+   four sides whose adjacent cell (probed through the tree) is not black. *)
+let rec measure scheme root size n cx cy half =
+  if n = 0 then 0
+  else
+    match load_field scheme n 0 with
+    | c when c = white -> 0
+    | c when c = black ->
+      let side = 2 * half in
+      let exposed probe_x probe_y =
+        if is_black scheme root size probe_x probe_y then 0 else side
+      in
+      exposed (cx - half - 1) cy
+      + exposed (cx + half) cy
+      + exposed cx (cy - half - 1)
+      + exposed cx (cy + half)
+    | _ ->
+      let q = half / 2 in
+      measure scheme root size (load_field scheme n 1) (cx - q) (cy - q) q
+      + measure scheme root size (load_field scheme n 2) (cx + q) (cy - q) q
+      + measure scheme root size (load_field scheme n 3) (cx - q) (cy + q) q
+      + measure scheme root size (load_field scheme n 4) (cx + q) (cy + q) q
+
+let run scheme ~scale =
+  let size = 1 lsl scale in
+  with_pool scheme ~elem_size:node_size (fun pool ->
+      let root = build scheme pool (size / 2) (size / 2) (size / 2) size in
+      let p = measure scheme root size root (size / 2) (size / 2) (size / 2) in
+      assert (p > 0))
+
+let batch =
+  {
+    Spec.name = "perimeter";
+    category = Spec.Olden;
+    description = "perimeter of a disc image via a quadtree";
+    paper = { Spec.loc = None; ratio1 = Some 7.12; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 9;
+    run;
+  }

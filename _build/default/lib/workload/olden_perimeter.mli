@@ -1,0 +1,6 @@
+(** Olden [perimeter]: build a quadtree over a synthetic binary image
+    and compute the total perimeter of the black region by recursive
+    traversal.  Build-once, traverse-once; allocation proportional to
+    image complexity. *)
+
+val batch : Spec.batch

@@ -1,0 +1,77 @@
+open Runtime.Workload_api
+
+(* node = { price; demand; nchildren; child0..child9 } *)
+let max_children = 10
+let node_size = (3 + max_children) * word
+let child_field i = 3 + i
+
+let alloc_node scheme (pool : Runtime.Scheme.pool_handle) nchildren =
+  let n = pool.pool_alloc ~site:"power:node" node_size in
+  store_field scheme n 0 100;
+  store_field scheme n 1 0;
+  store_field scheme n 2 nchildren;
+  n
+
+let rec build scheme pool rng level =
+  let fanout =
+    match level with
+    | 0 -> 8  (* feeders *)
+    | 1 -> 5  (* laterals *)
+    | 2 -> 4  (* branches *)
+    | _ -> 0  (* leaves *)
+  in
+  let n = alloc_node scheme pool fanout in
+  if fanout = 0 then store_field scheme n 1 (1 + Prng.below rng 10)
+  else
+    for c = 0 to fanout - 1 do
+      store_field scheme n (child_field c) (build scheme pool rng (level + 1))
+    done;
+  n
+
+let rec set_prices scheme n price =
+  (scheme : Runtime.Scheme.t).compute 620;
+  store_field scheme n 0 price;
+  let k = load_field scheme n 2 in
+  for c = 0 to k - 1 do
+    set_prices scheme (load_field scheme n (child_field c)) (price + 1)
+  done
+
+let rec sum_demand scheme n =
+  (scheme : Runtime.Scheme.t).compute 620;
+  let k = load_field scheme n 2 in
+  if k = 0 then begin
+    (* Leaves adjust demand against price. *)
+    let price = load_field scheme n 0 in
+    let demand = load_field scheme n 1 in
+    let adjusted = max 1 (demand + ((100 - price) / 10)) in
+    store_field scheme n 1 adjusted;
+    adjusted
+  end
+  else begin
+    let total = ref 0 in
+    for c = 0 to k - 1 do
+      total := !total + sum_demand scheme (load_field scheme n (child_field c))
+    done;
+    store_field scheme n 1 !total;
+    !total
+  end
+
+let run scheme ~scale =
+  with_pool scheme ~elem_size:node_size (fun pool ->
+      let rng = Prng.create ~seed:31 in
+      let root = build scheme pool rng 0 in
+      for pass = 1 to scale do
+        set_prices scheme root (90 + (pass mod 20));
+        ignore (sum_demand scheme root)
+      done)
+
+let batch =
+  {
+    Spec.name = "power";
+    category = Spec.Olden;
+    description = "price/demand optimization passes over a utility tree";
+    paper = { Spec.loc = None; ratio1 = Some 1.11; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 40;
+    run;
+  }

@@ -1,0 +1,6 @@
+(** Olden [power]: power-system pricing optimization over a fixed
+    four-level tree (root -> feeders -> laterals -> branches -> leaves),
+    iterating downward price propagation and upward demand summation.
+    Allocation up front, then pure traversal passes. *)
+
+val batch : Spec.batch

@@ -1,0 +1,41 @@
+open Runtime.Workload_api
+
+(* node = { val; left; right } *)
+let node_size = 3 * word
+
+let rec build scheme (pool : Runtime.Scheme.pool_handle) depth =
+  if depth = 0 then 0
+  else begin
+    let n = pool.pool_alloc ~site:"treeadd:node" node_size in
+    (scheme : Runtime.Scheme.t).compute 380;
+    store_field scheme n 0 1;
+    store_field scheme n 1 (build scheme pool (depth - 1));
+    store_field scheme n 2 (build scheme pool (depth - 1));
+    n
+  end
+
+let rec sum scheme n =
+  if n = 0 then 0
+  else begin
+    (scheme : Runtime.Scheme.t).compute 260;
+    load_field scheme n 0
+    + sum scheme (load_field scheme n 1)
+    + sum scheme (load_field scheme n 2)
+  end
+
+let run scheme ~scale =
+  with_pool scheme ~elem_size:node_size (fun pool ->
+      let root = build scheme pool scale in
+      let total = sum scheme root in
+      assert (total = (1 lsl scale) - 1))
+
+let batch =
+  {
+    Spec.name = "treeadd";
+    category = Spec.Olden;
+    description = "recursive sum over a freshly built binary tree";
+    paper = { Spec.loc = None; ratio1 = Some 4.84; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 13;
+    run;
+  }

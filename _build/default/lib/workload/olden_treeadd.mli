@@ -1,0 +1,5 @@
+(** Olden [treeadd]: build a complete binary tree of 2^scale - 1 nodes on
+    the simulated heap, then sum it by recursive traversal.  Pure
+    allocation + pointer chasing; the lightest Olden kernel. *)
+
+val batch : Spec.batch

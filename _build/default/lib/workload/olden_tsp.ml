@@ -1,0 +1,65 @@
+open Runtime.Workload_api
+
+(* city = { x; y; next; visited } *)
+let city_size = 4 * word
+
+let run scheme ~scale =
+  let n = scale in
+  with_pool scheme ~elem_size:city_size (fun pool ->
+      let rng = Prng.create ~seed:17 in
+      (* Build the city list. *)
+      let head = ref 0 in
+      for _ = 1 to n do
+        let c = pool.Runtime.Scheme.pool_alloc ~site:"tsp:city" city_size in
+        store_field scheme c 0 (Prng.below rng 10_000);
+        store_field scheme c 1 (Prng.below rng 10_000);
+        store_field scheme c 2 !head;
+        store_field scheme c 3 0;
+        head := c
+      done;
+      (* Nearest-neighbour tour: O(n^2) scans of the list. *)
+      let dist2 ax ay c =
+        let dx = ax - load_field scheme c 0 in
+        let dy = ay - load_field scheme c 1 in
+        (dx * dx) + (dy * dy)
+      in
+      let current = ref !head in
+      store_field scheme !current 3 1;
+      let tour_len = ref 0 in
+      for _ = 2 to n do
+        let cx = load_field scheme !current 0 in
+        let cy = load_field scheme !current 1 in
+        let best = ref 0 in
+        let best_d = ref max_int in
+        let rec scan c =
+          if c <> 0 then begin
+            (scheme : Runtime.Scheme.t).compute 55;
+            if load_field scheme c 3 = 0 then begin
+              let d = dist2 cx cy c in
+              if d < !best_d then begin
+                best_d := d;
+                best := c
+              end
+            end;
+            scan (load_field scheme c 2)
+          end
+        in
+        scan !head;
+        if !best <> 0 then begin
+          store_field scheme !best 3 1;
+          tour_len := !tour_len + !best_d;
+          current := !best
+        end
+      done;
+      assert (!tour_len > 0))
+
+let batch =
+  {
+    Spec.name = "tsp";
+    category = Spec.Olden;
+    description = "nearest-neighbour TSP tour over a linked city list";
+    paper = { Spec.loc = None; ratio1 = Some 1.64; valgrind_ratio = None };
+    pa_quality_gain = 1.0;
+    default_scale = 280;
+    run;
+  }

@@ -1,0 +1,5 @@
+(** Olden [tsp]: a travelling-salesman tour over randomly placed cities
+    using the nearest-neighbour heuristic — quadratic scanning over a
+    linked list of heap-allocated city records. *)
+
+val batch : Spec.batch

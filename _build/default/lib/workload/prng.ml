@@ -1,0 +1,20 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  let s = if seed = 0 then 0x9E3779B97F4A7C15L else Int64.of_int seed in
+  { state = s }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  let r = Int64.mul x 0x2545F4914F6CDD1DL in
+  Int64.to_int (Int64.shift_right_logical r 2)
+
+let below t bound =
+  if bound <= 0 then invalid_arg "Prng.below: bound <= 0";
+  next t mod bound
+
+let float t = float_of_int (next t) /. float_of_int (1 lsl 61)

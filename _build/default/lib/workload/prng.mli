@@ -1,0 +1,15 @@
+(** A small deterministic PRNG (xorshift64-star) so every workload run is
+    exactly reproducible across schemes — essential when comparing cycle
+    counts between configurations. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+(** Uniform non-negative int (62 bits). *)
+
+val below : t -> int -> int
+(** Uniform in [\[0, bound)]; [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)

@@ -1,0 +1,143 @@
+open Runtime.Workload_api
+
+let ftpd_commands_per_connection = 5
+let telnetd_setup_allocations = 45
+
+(* ghttpd: "designed for small memory footprint and performs only one
+   dynamic allocation per connection". *)
+let ghttpd_handler conn scheme =
+  let req = (scheme : Runtime.Scheme.t).malloc ~site:"ghttpd:request" 512 in
+  (* Parse the request line. *)
+  fill_words scheme req ~words:32 ~value:(conn + 1);
+  ignore (sum_words scheme req ~words:32);
+  (* Locate and send the file: mostly static buffers + syscalls. *)
+  scheme.compute 900_000;
+  touch_bytes scheme req ~len:512 ~stride:8;
+  scheme.free ~site:"ghttpd:request" req
+
+let ghttpd =
+  {
+    Spec.s_name = "ghttpd";
+    s_description = "small-footprint web server, 1 allocation/connection";
+    s_paper = { Spec.loc = Some 837; ratio1 = Some 1.02; valgrind_ratio = None };
+    s_default_connections = 40;
+    handler = ghttpd_handler;
+  }
+
+(* ftpd: per command, 5-6 allocations from global pools, plus
+   fb_realpath's create/alloc/free/destroy pool (the paper's example of
+   pool allocation enabling address-space reuse within a connection). *)
+let ftpd_command conn cmd scheme =
+  (* Global-pool allocations for the command: argument vector, reply
+     buffer, transfer state, two path strings. *)
+  let live = ref [] in
+  for i = 0 to 4 do
+    let a =
+      (scheme : Runtime.Scheme.t).malloc ~site:"ftpd:cmd-state" (64 + (i * 16))
+    in
+    fill_words scheme a ~words:6 ~value:(conn + cmd + i);
+    live := a :: !live
+  done;
+  (* fb_realpath: a pool created, used and destroyed inside the call. *)
+  with_pool scheme (fun pool ->
+      let buf = pool.Runtime.Scheme.pool_alloc ~site:"ftpd:realpath" 1024 in
+      fill_words scheme buf ~words:64 ~value:cmd;
+      ignore (sum_words scheme buf ~words:64);
+      pool.Runtime.Scheme.pool_free ~site:"ftpd:realpath" buf);
+  (* Transfer a file chunk. *)
+  scheme.compute 700_000;
+  List.iter (fun a -> ignore (sum_words scheme a ~words:6)) !live;
+  (* Command state is freed when the command completes. *)
+  List.iter (fun a -> scheme.free ~site:"ftpd:cmd-done" a) !live
+
+let ftpd_handler conn scheme =
+  for cmd = 1 to ftpd_commands_per_connection do
+    ftpd_command conn cmd scheme
+  done
+
+let ftpd =
+  {
+    Spec.s_name = "ftpd";
+    s_description = "wu-ftpd model: 5-6 global-pool allocations per command";
+    s_paper = { Spec.loc = Some 28055; ratio1 = Some 1.01; valgrind_ratio = None };
+    s_default_connections = 30;
+    handler = ftpd_handler;
+  }
+
+let fingerd_handler conn scheme =
+  let query = (scheme : Runtime.Scheme.t).malloc ~site:"fingerd:query" 128 in
+  let reply = scheme.malloc ~site:"fingerd:reply" 512 in
+  fill_words scheme query ~words:8 ~value:conn;
+  (* utmp / passwd lookup. *)
+  scheme.compute 500_000;
+  for i = 0 to 31 do
+    store_field scheme reply i (load_field scheme query (i mod 8) + i)
+  done;
+  scheme.free query;
+  scheme.free reply
+
+let fingerd =
+  {
+    Spec.s_name = "fingerd";
+    s_description = "finger daemon: two allocations, directory lookups";
+    s_paper = { Spec.loc = Some 563; ratio1 = Some 1.01; valgrind_ratio = None };
+    s_default_connections = 40;
+    handler = fingerd_handler;
+  }
+
+(* tftpd forks per command; each "connection" here is one get/put. *)
+let tftpd_handler conn scheme =
+  let pkt = (scheme : Runtime.Scheme.t).malloc ~site:"tftpd:packet" 516 in
+  let fname = scheme.malloc ~site:"tftpd:filename" 64 in
+  fill_words scheme fname ~words:8 ~value:conn;
+  (* Block transfer loop: 32 data blocks of 512 bytes. *)
+  for block = 1 to 32 do
+    for w = 0 to 63 do
+      store_field scheme pkt w (block + w)
+    done;
+    ignore (sum_words scheme pkt ~words:64);
+    scheme.compute 12_000
+  done;
+  scheme.compute 300_000;
+  scheme.free pkt;
+  scheme.free fname
+
+let tftpd =
+  {
+    Spec.s_name = "tftpd";
+    s_description = "TFTP daemon: fork per command, block transfer loop";
+    s_paper = { Spec.loc = Some 1019; ratio1 = Some 1.03; valgrind_ratio = None };
+    s_default_connections = 40;
+    handler = tftpd_handler;
+  }
+
+(* telnetd: 45 small allocations before giving control to the shell,
+   then no further allocation for the whole session. *)
+let telnetd_handler conn scheme =
+  let setup = ref [] in
+  for i = 1 to telnetd_setup_allocations do
+    let a =
+      (scheme : Runtime.Scheme.t).malloc ~site:"telnetd:setup" (32 + (i mod 4 * 16))
+    in
+    store_field scheme a 0 (conn + i);
+    setup := a :: !setup
+  done;
+  (* Session: pty byte shuffling, no allocation. *)
+  for _ = 1 to 20 do
+    List.iteri
+      (fun i a -> if i < 8 then ignore (load_field scheme a 0))
+      !setup;
+    scheme.compute 80_000
+  done;
+  List.iter (fun a -> scheme.free ~site:"telnetd:teardown" a) !setup
+
+let telnetd =
+  {
+    Spec.s_name = "telnetd";
+    s_description = "telnet daemon: 45 setup allocations, then pty shuffling";
+    s_paper = { Spec.loc = Some 11543; ratio1 = None; valgrind_ratio = None };
+    s_default_connections = 25;
+    handler = telnetd_handler;
+  }
+
+let all = [ ghttpd; ftpd; fingerd; tftpd; telnetd ]

@@ -1,0 +1,43 @@
+open Runtime.Workload_api
+
+(* Formatting work (font metrics, escapes, page layout) per line, in
+   instructions; calibrated so the syscall-per-alloc overhead lands near
+   the paper's ~15% for this workload. *)
+let format_work_per_line = 100_000
+
+let process_line scheme (pool : Runtime.Scheme.pool_handle) rng =
+  let token_buf = pool.pool_alloc ~site:"enscript:token" 64 in
+  let fmt_buf = pool.pool_alloc ~site:"enscript:fmt" 128 in
+  let out_buf = pool.pool_alloc ~site:"enscript:out" 256 in
+  fill_words scheme token_buf ~words:8 ~value:(Prng.below rng 256);
+  (* Tokenise: read the token buffer while building the format buffer. *)
+  for i = 0 to 15 do
+    let b = load_field scheme token_buf (i mod 8) in
+    store_field scheme fmt_buf i (b + i)
+  done;
+  (scheme : Runtime.Scheme.t).compute format_work_per_line;
+  for i = 0 to 31 do
+    store_field scheme out_buf i (load_field scheme fmt_buf (i mod 16))
+  done;
+  ignore (sum_words scheme out_buf ~words:32);
+  pool.pool_free ~site:"enscript:token" token_buf;
+  pool.pool_free ~site:"enscript:fmt" fmt_buf;
+  pool.pool_free ~site:"enscript:out" out_buf
+
+let run scheme ~scale =
+  with_pool scheme (fun pool ->
+      let rng = Prng.create ~seed:101 in
+      for _ = 1 to scale do
+        process_line scheme pool rng
+      done)
+
+let batch =
+  {
+    Spec.name = "enscript";
+    category = Spec.Utility;
+    description = "text-to-PostScript conversion, buffer churn per line";
+    paper = { Spec.loc = Some 14093; ratio1 = Some 1.15; valgrind_ratio = Some 25.37 };
+    pa_quality_gain = 1.0;
+    default_scale = 1200;
+    run;
+  }

@@ -1,0 +1,7 @@
+(** Behavioural model of [enscript] (text -> PostScript): the most
+    allocation-intensive of the paper's utilities (the one with the 15%
+    overhead, and the one Electric Fence runs out of memory on).  Per
+    input line it allocates and frees token/format/output buffers and
+    does a burst of formatting work. *)
+
+val batch : Spec.batch

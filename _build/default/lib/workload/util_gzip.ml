@@ -1,0 +1,46 @@
+open Runtime.Workload_api
+
+let window_bytes = 16384
+let hash_words = 512
+let deflate_work_per_block = 90_000
+
+let run scheme ~scale =
+  with_pool scheme (fun pool ->
+      let rng = Prng.create ~seed:109 in
+      let window = pool.Runtime.Scheme.pool_alloc ~site:"gzip:window" window_bytes in
+      let hash = pool.Runtime.Scheme.pool_alloc ~site:"gzip:hash" (hash_words * word) in
+      let out = pool.Runtime.Scheme.pool_alloc ~site:"gzip:out" 4096 in
+      fill_words scheme hash ~words:hash_words ~value:0;
+      for block = 1 to scale do
+        (* Fill a stretch of the window with "input". *)
+        let base = block * 256 mod (window_bytes - 512) in
+        for i = 0 to 63 do
+          store_byte scheme (window + base + (i * 4)) (Prng.below rng 256)
+        done;
+        (* Match scan: probe the hash head, walk back through the window. *)
+        for probe = 0 to 47 do
+          let h = (base + (probe * 7)) mod hash_words in
+          let prev = load_field scheme hash h in
+          store_field scheme hash h (base + probe);
+          let start = prev mod (window_bytes - 64) in
+          touch_bytes scheme (window + start) ~len:48 ~stride:4
+        done;
+        (scheme : Runtime.Scheme.t).compute deflate_work_per_block;
+        for i = 0 to 31 do
+          store_field scheme out (i mod 512) (base + i)
+        done
+      done;
+      pool.Runtime.Scheme.pool_free window;
+      pool.Runtime.Scheme.pool_free hash;
+      pool.Runtime.Scheme.pool_free out)
+
+let batch =
+  {
+    Spec.name = "gzip";
+    category = Spec.Utility;
+    description = "streaming LZ77 compression over fixed buffers";
+    paper = { Spec.loc = Some 8163; ratio1 = Some 0.99; valgrind_ratio = Some 2.48 };
+    pa_quality_gain = 0.97;
+    default_scale = 400;
+    run;
+  }

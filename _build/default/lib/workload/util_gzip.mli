@@ -1,0 +1,8 @@
+(** Behavioural model of [gzip]: a handful of large up-front buffer
+    allocations (window, hash chains), then pure streaming compression —
+    LZ77 window scans dominate.  Essentially zero allocation during the
+    run; the paper even measures a small {e speedup} under pool
+    allocation from improved locality, which [pa_quality_gain < 1]
+    reproduces. *)
+
+val batch : Spec.batch

@@ -1,0 +1,42 @@
+open Runtime.Workload_api
+
+let config_entries = 24
+let scan_work_per_query = 120_000
+
+let run scheme ~scale =
+  with_pool scheme (fun pool ->
+      let rng = Prng.create ~seed:103 in
+      (* Startup: parse whois.conf into a linked list of entries. *)
+      let entries = ref 0 in
+      for _ = 1 to config_entries do
+        let e = pool.Runtime.Scheme.pool_alloc ~site:"jwhois:conf" 96 in
+        fill_words scheme e ~words:10 ~value:(Prng.below rng 1024);
+        store_field scheme e 11 !entries;
+        entries := e
+      done;
+      (* Per query: pick a config entry by scanning, then scan the
+         response buffer for patterns. *)
+      let response = pool.Runtime.Scheme.pool_alloc ~site:"jwhois:resp" 2048 in
+      fill_words scheme response ~words:256 ~value:7;
+      for _ = 1 to scale do
+        let rec pick e n =
+          if e <> 0 && n > 0 then begin
+            ignore (load_field scheme e 0);
+            pick (load_field scheme e 11) (n - 1)
+          end
+        in
+        pick !entries (Prng.below rng config_entries);
+        ignore (sum_words scheme response ~words:256);
+        (scheme : Runtime.Scheme.t).compute scan_work_per_query
+      done)
+
+let batch =
+  {
+    Spec.name = "jwhois";
+    category = Spec.Utility;
+    description = "whois client: startup config allocs, then response scans";
+    paper = { Spec.loc = Some 9607; ratio1 = Some 1.02; valgrind_ratio = Some 24.21 };
+    pa_quality_gain = 1.0;
+    default_scale = 600;
+    run;
+  }

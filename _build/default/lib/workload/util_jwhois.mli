@@ -1,0 +1,6 @@
+(** Behavioural model of [jwhois]: a handful of configuration
+    allocations at startup, then pattern scanning over the server
+    response — accesses vastly outnumber allocations, so the paper
+    measures essentially zero overhead. *)
+
+val batch : Spec.batch

@@ -1,0 +1,45 @@
+open Runtime.Workload_api
+
+let line_words = 10 (* 80-column line *)
+let splice_work_per_hunk = 900_000
+
+let run scheme ~scale =
+  let n_lines = scale in
+  let n_hunks = max 1 (scale / 8) in
+  with_pool scheme (fun pool ->
+      let rng = Prng.create ~seed:107 in
+      let table = pool.Runtime.Scheme.pool_alloc ~site:"patch:table" (n_lines * word) in
+      for i = 0 to n_lines - 1 do
+        let line = pool.Runtime.Scheme.pool_alloc ~site:"patch:line" (line_words * word) in
+        fill_words scheme line ~words:line_words ~value:(i + 1);
+        store_field scheme table i line
+      done;
+      (* Apply hunks: locate context (reads), rewrite a window of lines. *)
+      for _ = 1 to n_hunks do
+        let at = Prng.below rng (max 1 (n_lines - 40)) in
+        for i = at to min (n_lines - 1) (at + 29) do
+          let line = load_field scheme table i in
+          for w = 0 to line_words - 1 do
+            store_field scheme line w (load_field scheme line w + 1)
+          done
+        done;
+        (scheme : Runtime.Scheme.t).compute splice_work_per_hunk
+      done;
+      (* Write out and release the line table. *)
+      for i = 0 to n_lines - 1 do
+        let line = load_field scheme table i in
+        ignore (sum_words scheme line ~words:line_words);
+        pool.Runtime.Scheme.pool_free ~site:"patch:line" line
+      done;
+      pool.Runtime.Scheme.pool_free ~site:"patch:table" table)
+
+let batch =
+  {
+    Spec.name = "patch";
+    category = Spec.Utility;
+    description = "apply hunks to a line table read up front";
+    paper = { Spec.loc = Some 5303; ratio1 = Some 1.01; valgrind_ratio = Some 11.14 };
+    pa_quality_gain = 1.0;
+    default_scale = 200;
+    run;
+  }

@@ -1,0 +1,6 @@
+(** Behavioural model of [patch]: read the target file into a line
+    table (one allocation per line, up front), apply hunks by copying
+    and splicing lines, write the result, free everything.  Allocation
+    happens once; the work is line copying. *)
+
+val batch : Spec.batch

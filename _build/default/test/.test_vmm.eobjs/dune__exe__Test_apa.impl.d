@@ -1,0 +1,1 @@
+test/test_apa.ml: Addr Alcotest Apa Fault Frame_table Machine Mmu QCheck QCheck_alcotest Vmm

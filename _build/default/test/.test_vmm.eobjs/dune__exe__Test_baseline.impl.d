@@ -1,0 +1,1 @@
+test/test_baseline.ml: Addr Alcotest Baseline Frame_table Machine Perm Printf QCheck QCheck_alcotest Runtime Shadow Stats Vmm

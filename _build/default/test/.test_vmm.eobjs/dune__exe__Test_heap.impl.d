@@ -1,0 +1,1 @@
+test/test_heap.ml: Addr Alcotest Gen Heap Kernel List Machine Mmu QCheck QCheck_alcotest Vmm

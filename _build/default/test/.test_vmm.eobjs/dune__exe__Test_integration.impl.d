@@ -1,0 +1,1 @@
+test/test_integration.ml: Addr Alcotest Baseline Filename Harness In_channel List Machine Minic Printf Runtime Shadow Stats String Sys Vmm Workload

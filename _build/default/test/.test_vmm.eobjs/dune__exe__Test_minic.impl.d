@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Buffer Gen List Minic Option Printf QCheck QCheck_alcotest Runtime Shadow Vmm

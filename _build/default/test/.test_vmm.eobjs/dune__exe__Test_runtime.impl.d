@@ -1,0 +1,1 @@
+test/test_runtime.ml: Addr Alcotest Baseline Machine QCheck QCheck_alcotest Runtime Shadow Stats Vmm

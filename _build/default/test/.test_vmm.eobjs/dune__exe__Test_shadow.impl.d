@@ -1,0 +1,1 @@
+test/test_shadow.ml: Addr Alcotest Apa Array Baseline Frame_table Gen Heap Kernel List Machine Mmu Page_table Perm Printf QCheck QCheck_alcotest Queue Runtime Shadow Stats Vmm

@@ -1,0 +1,1 @@
+test/test_vmm.ml: Addr Alcotest Cache Cost_model Fault Frame_table Kernel List Machine Mmu Page_table Perm QCheck QCheck_alcotest Stats Tlb Vmm

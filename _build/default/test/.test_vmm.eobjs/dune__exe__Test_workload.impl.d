@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Baseline List Machine Printf QCheck QCheck_alcotest Runtime Stats Vmm Workload

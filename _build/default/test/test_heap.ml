@@ -1,0 +1,221 @@
+(* Tests for the heap allocators: the segregated-fit malloc and the bump
+   allocator, including the random-trace heap invariants the shadow
+   layer relies on. *)
+
+open Vmm
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let fresh () =
+  let m = Machine.create () in
+  (m, Heap.Freelist_malloc.create m)
+
+let test_alloc_roundtrip () =
+  let m, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 40 in
+  Mmu.store m a ~width:8 123;
+  Mmu.store m (a + 32) ~width:8 456;
+  check_int "first word" 123 (Mmu.load m a ~width:8);
+  check_int "last word" 456 (Mmu.load m (a + 32) ~width:8)
+
+let test_size_class_rounding () =
+  let _, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 17 in
+  check_int "rounded to class" 32 (Heap.Freelist_malloc.size_of h a);
+  let b = Heap.Freelist_malloc.alloc h 16 in
+  check_int "exact class" 16 (Heap.Freelist_malloc.size_of h b)
+
+let test_reuse_after_free () =
+  let _, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 64 in
+  Heap.Freelist_malloc.dealloc h a;
+  let b = Heap.Freelist_malloc.alloc h 64 in
+  check_int "free list reuses the block" a b
+
+let test_no_overlap () =
+  let _, h = fresh () in
+  let blocks = List.init 50 (fun i -> (Heap.Freelist_malloc.alloc h (16 + (i mod 7 * 32)), 16 + (i mod 7 * 32))) in
+  let rec pairs = function
+    | [] -> ()
+    | (a, sa) :: rest ->
+      List.iter
+        (fun (b, sb) ->
+          let disjoint = a + sa <= b || b + sb <= a in
+          check_bool "blocks disjoint" true disjoint)
+        rest;
+      pairs rest
+  in
+  pairs blocks
+
+let test_live_accounting () =
+  let _, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 100 in
+  let _b = Heap.Freelist_malloc.alloc h 200 in
+  check_int "two live" 2 (Heap.Freelist_malloc.live_blocks h);
+  Heap.Freelist_malloc.dealloc h a;
+  check_int "one live" 1 (Heap.Freelist_malloc.live_blocks h);
+  check_bool "bytes positive" true (Heap.Freelist_malloc.live_bytes h > 0)
+
+let test_double_free_detected_by_allocator () =
+  let _, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 48 in
+  Heap.Freelist_malloc.dealloc h a;
+  (match Heap.Freelist_malloc.dealloc h a with
+   | () -> Alcotest.fail "expected Heap_corruption"
+   | exception Heap.Freelist_malloc.Heap_corruption _ -> ())
+
+let test_large_alloc () =
+  let m, h = fresh () in
+  let size = 3 * Addr.page_size in
+  let a = Heap.Freelist_malloc.alloc h size in
+  Mmu.store m (a + size - 8) ~width:8 99;
+  check_int "end of large block" 99 (Mmu.load m (a + size - 8) ~width:8);
+  check_bool "large size_of" true (Heap.Freelist_malloc.size_of h a >= size);
+  Heap.Freelist_malloc.dealloc h a;
+  let b = Heap.Freelist_malloc.alloc h size in
+  check_int "large region reused" a b
+
+let test_is_live () =
+  let _, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 32 in
+  check_bool "live" true (Heap.Freelist_malloc.is_live h a);
+  Heap.Freelist_malloc.dealloc h a;
+  check_bool "not live" false (Heap.Freelist_malloc.is_live h a)
+
+let test_heap_check () =
+  let _, h = fresh () in
+  let blocks = List.init 30 (fun i -> Heap.Freelist_malloc.alloc h (8 + (i mod 5 * 24))) in
+  List.iteri (fun i a -> if i mod 2 = 0 then Heap.Freelist_malloc.dealloc h a) blocks;
+  (match Heap.Freelist_malloc.check h with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e)
+
+let test_header_corruption_detected () =
+  let m, h = fresh () in
+  let a = Heap.Freelist_malloc.alloc h 32 in
+  (* Trample the status word, as a buffer underflow would. *)
+  Mmu.store m (a - 8) ~width:8 0xDEAD;
+  (match Heap.Freelist_malloc.size_of h a with
+   | _ -> Alcotest.fail "expected Heap_corruption"
+   | exception Heap.Freelist_malloc.Heap_corruption _ -> ());
+  check_bool "check flags it" true (Heap.Freelist_malloc.check h <> Ok ())
+
+let test_page_source_plumbing () =
+  let m = Machine.create () in
+  let granted = ref 0 in
+  let page_source pages =
+    granted := !granted + pages;
+    Kernel.mmap m ~pages
+  in
+  let h = Heap.Freelist_malloc.create ~arena_pages:4 ~page_source m in
+  ignore (Heap.Freelist_malloc.alloc h 128);
+  check_int "arena came from the source" 4 !granted
+
+let test_invalid_requests () =
+  let _, h = fresh () in
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Freelist_malloc.alloc: size <= 0") (fun () ->
+      ignore (Heap.Freelist_malloc.alloc h 0))
+
+(* Random alloc/free traces keep the heap walkable and blocks disjoint. *)
+let prop_random_trace =
+  QCheck.Test.make ~name:"freelist: random traces preserve invariants"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 120) (int_range 1 5000))
+    (fun sizes ->
+      let _, h = fresh () in
+      let live = ref [] in
+      let step i size =
+        if i mod 3 = 2 && !live <> [] then begin
+          match !live with
+          | a :: rest ->
+            Heap.Freelist_malloc.dealloc h a;
+            live := rest
+          | [] -> ()
+        end
+        else live := Heap.Freelist_malloc.alloc h size :: !live
+      in
+      List.iteri step sizes;
+      let disjoint =
+        let rec go = function
+          | [] -> true
+          | a :: rest ->
+            let sa = Heap.Freelist_malloc.size_of h a in
+            List.for_all
+              (fun b ->
+                let sb = Heap.Freelist_malloc.size_of h b in
+                a + sa <= b || b + sb <= a)
+              rest
+            && go rest
+        in
+        go !live
+      in
+      disjoint && Heap.Freelist_malloc.check h = Ok ())
+
+(* ---- bump allocator ---- *)
+
+let test_bump_roundtrip () =
+  let m = Machine.create () in
+  let b = Heap.Bump_alloc.create m in
+  let a = Heap.Bump_alloc.alloc b 64 in
+  Mmu.store m a ~width:8 5;
+  check_int "read" 5 (Mmu.load m a ~width:8);
+  check_int "size_of" 64 (Heap.Bump_alloc.size_of b a);
+  let c = Heap.Bump_alloc.alloc b 64 in
+  check_bool "monotonic" true (c > a);
+  Heap.Bump_alloc.dealloc b a;
+  check_int "live after free" 1 (Heap.Bump_alloc.live_blocks b)
+
+let test_bump_region_growth () =
+  let m = Machine.create () in
+  let b = Heap.Bump_alloc.create ~region_pages:1 m in
+  (* Force several region switches. *)
+  let blocks = List.init 10 (fun _ -> Heap.Bump_alloc.alloc b 1000) in
+  List.iteri (fun i a -> Mmu.store m a ~width:8 i) blocks;
+  List.iteri (fun i a -> check_int "region data intact" i (Mmu.load m a ~width:8)) blocks
+
+let test_allocator_interfaces () =
+  let m = Machine.create () in
+  let fl = Heap.Freelist_malloc.as_allocator (Heap.Freelist_malloc.create m) in
+  let bp = Heap.Bump_alloc.as_allocator (Heap.Bump_alloc.create m) in
+  List.iter
+    (fun (alloc : Heap.Allocator_intf.t) ->
+      let a = alloc.Heap.Allocator_intf.alloc 100 in
+      check_bool "size >= requested" true (alloc.Heap.Allocator_intf.size_of a >= 100);
+      check_int "one live" 1 (alloc.Heap.Allocator_intf.live_blocks ());
+      alloc.Heap.Allocator_intf.dealloc a;
+      check_int "none live" 0 (alloc.Heap.Allocator_intf.live_blocks ()))
+    [ fl; bp ]
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "freelist",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_alloc_roundtrip;
+          Alcotest.test_case "size classes" `Quick test_size_class_rounding;
+          Alcotest.test_case "reuse after free" `Quick test_reuse_after_free;
+          Alcotest.test_case "no overlap" `Quick test_no_overlap;
+          Alcotest.test_case "live accounting" `Quick test_live_accounting;
+          Alcotest.test_case "double free" `Quick
+            test_double_free_detected_by_allocator;
+          Alcotest.test_case "large blocks" `Quick test_large_alloc;
+          Alcotest.test_case "is_live" `Quick test_is_live;
+          Alcotest.test_case "heap check" `Quick test_heap_check;
+          Alcotest.test_case "header corruption" `Quick
+            test_header_corruption_detected;
+          Alcotest.test_case "page source" `Quick test_page_source_plumbing;
+          Alcotest.test_case "invalid requests" `Quick test_invalid_requests;
+        ]
+        @ qcheck [ prop_random_trace ] );
+      ( "bump",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bump_roundtrip;
+          Alcotest.test_case "region growth" `Quick test_bump_region_growth;
+          Alcotest.test_case "uniform interface" `Quick
+            test_allocator_interfaces;
+        ] );
+    ]

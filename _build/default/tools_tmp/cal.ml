@@ -1,0 +1,17 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "== Table 1 ==";
+  print_endline (Harness.Table1.render (Harness.Table1.rows ()));
+  Printf.printf "[t1: %.1fs]\n%!" (Unix.gettimeofday () -. t0);
+  let t1 = Unix.gettimeofday () in
+  print_endline "== Table 3 ==";
+  print_endline (Harness.Table3.render (Harness.Table3.rows ()));
+  Printf.printf "[t3: %.1fs]\n%!" (Unix.gettimeofday () -. t1);
+  let t2 = Unix.gettimeofday () in
+  print_endline "== Table 2 ==";
+  print_endline (Harness.Table2.render (Harness.Table2.rows ()));
+  Printf.printf "[t2: %.1fs]\n%!" (Unix.gettimeofday () -. t2);
+  print_endline "== 4.3 ==";
+  print_endline (Harness.Addr_space.render (Harness.Addr_space.rows ()));
+  print_endline "== detection ==";
+  print_endline (Harness.Detection_matrix.render (Harness.Detection_matrix.run ()))
