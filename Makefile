@@ -1,0 +1,23 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full-scale evaluation; writes BENCH_results.json.
+bench:
+	dune exec bench/main.exe
+
+# The CI gate: build, the whole test suite, and a scale-divided bench
+# run that still exercises every section and emits BENCH_results.json.
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --smoke
+
+clean:
+	dune clean

@@ -11,7 +11,15 @@
      5. Sec 3.4  — exhaustion model and long-lived-pool policies
      6. Sec 5    — detection-guarantee matrix
      7. Ablations — design choices DESIGN.md calls out
-     8. Bechamel — wall-clock cost of the simulator itself *)
+     8. Bechamel — wall-clock cost of the simulator itself
+
+   Besides the text report, the run writes BENCH_results.json (path
+   overridable with --out): tables 1-3 row data, an our-approach
+   cycles/syscalls/faults row per workload, and the bechamel ns/op
+   figures.  --smoke (scale divisor 16) keeps CI runs short;
+   --scale-divisor N picks any other divisor. *)
+
+module J = Telemetry.Json
 
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -24,27 +32,73 @@ let timed name f =
 
 (* ---- 1-3: the paper's tables ---- *)
 
-let run_table1 () =
+let run_table1 ~scale_divisor () =
   section "Table 1: run-time overhead on Unix utilities and servers";
   print_endline
     "(cycles in millions; utilities = whole run, servers = mean response\n\
      per forked connection; Ratio1 = ours/LLVM-base, Ratio2 = ours/native)";
   timed "table 1" (fun () ->
-      print_endline (Harness.Table1.render (Harness.Table1.rows ())))
+      let rows = Harness.Table1.rows ~scale_divisor () in
+      print_endline (Harness.Table1.render rows);
+      rows)
 
-let run_table2 () =
+let run_table2 ~scale_divisor () =
   section "Table 2: comparison with the Valgrind-class checker";
-  timed "table 2" (fun () ->
-      print_endline (Harness.Table2.render (Harness.Table2.rows ())));
+  let rows =
+    timed "table 2" (fun () ->
+        let rows = Harness.Table2.rows ~scale_divisor () in
+        print_endline (Harness.Table2.render rows);
+        rows)
+  in
   print_endline
     "(the model charges a uniform DBT factor, so the per-program spread of\n\
      real memcheck [2.5x-25x] collapses to ~12x; the orders-of-magnitude\n\
-     gap vs. our approach is the property under test)"
+     gap vs. our approach is the property under test)";
+  rows
 
-let run_table3 () =
+let run_table3 ~scale_divisor () =
   section "Table 3: allocation-intensive Olden benchmarks";
   timed "table 3" (fun () ->
-      print_endline (Harness.Table3.render (Harness.Table3.rows ())))
+      let rows = Harness.Table3.rows ~scale_divisor () in
+      print_endline (Harness.Table3.render rows);
+      rows)
+
+(* Per-workload cost rows for BENCH_results.json: one our-approach run
+   per workload harvesting the counters the tables summarize away. *)
+
+let cost_row ~table ~workload ~scale ~cycles (stats : Vmm.Stats.snapshot) =
+  J.Obj
+    [
+      ("table", J.Int table);
+      ("workload", J.String workload);
+      ("config", J.String (Harness.Experiment.config_label Harness.Experiment.Ours));
+      ("scale", J.Int scale);
+      ("cycles", J.Float cycles);
+      ("syscalls", J.Int (Vmm.Stats.total_syscalls stats));
+      ("faults", J.Int stats.Vmm.Stats.faults);
+    ]
+
+let cost_rows ~scale_divisor () =
+  let batch_row table (b : Workload.Spec.batch) =
+    let scale = max 1 (b.Workload.Spec.default_scale / scale_divisor) in
+    let r = Harness.Experiment.run_batch ~scale b Harness.Experiment.Ours in
+    cost_row ~table ~workload:b.Workload.Spec.name ~scale
+      ~cycles:r.Harness.Experiment.cycles r.Harness.Experiment.stats
+  in
+  let server_row (s : Workload.Spec.server) =
+    let connections =
+      max 2 (s.Workload.Spec.s_default_connections / scale_divisor)
+    in
+    let r =
+      Harness.Experiment.run_server ~connections s Harness.Experiment.Ours
+    in
+    cost_row ~table:1 ~workload:s.Workload.Spec.s_name ~scale:connections
+      ~cycles:r.Runtime.Process.total_cycles r.Runtime.Process.total_stats
+  in
+  timed "cost rows" (fun () ->
+      List.map (batch_row 1) Workload.Catalog.utilities
+      @ List.map server_row Workload.Catalog.servers
+      @ List.map (batch_row 3) Workload.Catalog.olden)
 
 (* ---- 4: section 4.3 ---- *)
 
@@ -64,8 +118,8 @@ let run_latency () =
   timed "latency study" (fun () ->
       print_endline (Harness.Latency.render (Harness.Latency.study ())));
   print_endline
-    "(the scheme's per-connection cost is a constant few syscalls, so the
-     overhead shrinks toward the tail: production p99 latency is barely
+    "(the scheme's per-connection cost is a constant few syscalls, so the\n\
+     overhead shrinks toward the tail: production p99 latency is barely\n\
      affected — the server-friendliness argument in distribution form)"
 
 (* ---- 5: section 3.4 ---- *)
@@ -223,8 +277,7 @@ let ablation_cache_behaviour () =
       let r = Harness.Experiment.run_batch ~scale:200 b config in
       let s = r.Harness.Experiment.stats in
       let accesses = s.Vmm.Stats.loads + s.Vmm.Stats.stores in
-      Printf.printf "  %-16s cache misses %6d (%.2f%% of %d accesses)
-"
+      Printf.printf "  %-16s cache misses %6d (%.2f%% of %d accesses)\n"
         (Harness.Experiment.config_label config)
         s.Vmm.Stats.cache_misses
         (100. *. float_of_int s.Vmm.Stats.cache_misses
@@ -342,6 +395,14 @@ let run_bechamel () =
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let estimated =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> Some (name, ns)
+        | Some _ | None -> None)
+      rows
+  in
   List.iter
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
@@ -349,21 +410,82 @@ let run_bechamel () =
         if ns > 1e6 then Printf.printf "  %-36s %10.2f ms/run\n" name (ns /. 1e6)
         else Printf.printf "  %-36s %10.0f ns/run\n" name ns
       | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  List.sort compare estimated
+
+(* ---- JSON results file ---- *)
+
+let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Int 1);
+        ("scale_divisor", J.Int scale_divisor);
+        ("smoke", J.Bool smoke);
+        ("tables", J.Obj tables);
+        ("cost_rows", J.List costs);
+        ( "bechamel",
+          J.List
+            (List.map
+               (fun (name, ns) ->
+                 J.Obj [ ("name", J.String name); ("ns_per_run", J.Float ns) ])
+               bechamel) );
+      ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (J.to_string_pretty doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\nwrote %s\n" out
 
 let () =
+  let smoke = ref false in
+  let divisor = ref 0 in
+  let out = ref "BENCH_results.json" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " quick run: scale divisor 16");
+      ( "--scale-divisor",
+        Arg.Set_int divisor,
+        "N divide workload scales by N (default 1)" );
+      ( "--out",
+        Arg.Set_string out,
+        "FILE results file (default BENCH_results.json)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--smoke] [--scale-divisor N] [--out FILE]";
+  if !divisor < 0 then (
+    prerr_endline "bench: --scale-divisor must be positive";
+    exit 2);
+  let scale_divisor =
+    if !divisor > 0 then !divisor else if !smoke then 16 else 1
+  in
   print_endline
     "Reproduction harness: 'Efficiently Detecting All Dangling Pointer Uses\n\
      in Production Servers' (Dhurjati & Adve, DSN 2006)";
-  run_table1 ();
-  run_table2 ();
-  run_table3 ();
+  if scale_divisor > 1 then
+    Printf.printf "(workload scales divided by %d)\n" scale_divisor;
+  let t1 = run_table1 ~scale_divisor () in
+  let t2 = run_table2 ~scale_divisor () in
+  let t3 = run_table3 ~scale_divisor () in
+  let costs = cost_rows ~scale_divisor () in
   run_addr_space ();
   run_latency ();
   run_exhaustion ();
   run_detection ();
   run_ablations ();
-  (match Sys.getenv_opt "SKIP_BECHAMEL" with
-   | Some _ -> print_endline "\n(bechamel section skipped)"
-   | None -> run_bechamel ());
+  let bechamel =
+    match Sys.getenv_opt "SKIP_BECHAMEL" with
+    | Some _ ->
+      print_endline "\n(bechamel section skipped)";
+      []
+    | None -> run_bechamel ()
+  in
+  write_results ~out:!out ~scale_divisor ~smoke:!smoke
+    ~tables:
+      [
+        ("table1", Harness.Table1.to_json t1);
+        ("table2", Harness.Table2.to_json t2);
+        ("table3", Harness.Table3.to_json t3);
+      ]
+    ~costs ~bechamel;
   print_endline "\nAll sections complete."

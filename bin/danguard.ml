@@ -10,6 +10,7 @@
      demo            a 30-second tour of the detector *)
 
 open Cmdliner
+module J = Telemetry.Json
 
 let scheme_names =
   [
@@ -39,6 +40,10 @@ let scale_divisor_arg =
   let doc = "Divide workload sizes by this factor (quick runs)." in
   Arg.(value & opt int 1 & info [ "d"; "scale-divisor" ] ~docv:"N" ~doc)
 
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of table text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 (* ---- table ---- *)
 
 let table_cmd =
@@ -46,25 +51,40 @@ let table_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"TABLE"
            ~doc:"Table number (1, 2 or 3).")
   in
-  let run which divisor =
+  let run which divisor json =
+    let envelope n rows_json =
+      J.to_string
+        (J.Obj
+           [
+             ("table", J.Int n);
+             ("scale_divisor", J.Int divisor);
+             ("rows", rows_json);
+           ])
+    in
     match which with
     | 1 ->
+      let rows = Harness.Table1.rows ~scale_divisor:divisor () in
       print_endline
-        (Harness.Table1.render (Harness.Table1.rows ~scale_divisor:divisor ()));
+        (if json then envelope 1 (Harness.Table1.to_json rows)
+         else Harness.Table1.render rows);
       `Ok ()
     | 2 ->
+      let rows = Harness.Table2.rows ~scale_divisor:divisor () in
       print_endline
-        (Harness.Table2.render (Harness.Table2.rows ~scale_divisor:divisor ()));
+        (if json then envelope 2 (Harness.Table2.to_json rows)
+         else Harness.Table2.render rows);
       `Ok ()
     | 3 ->
+      let rows = Harness.Table3.rows ~scale_divisor:divisor () in
       print_endline
-        (Harness.Table3.render (Harness.Table3.rows ~scale_divisor:divisor ()));
+        (if json then envelope 3 (Harness.Table3.to_json rows)
+         else Harness.Table3.render rows);
       `Ok ()
     | n -> `Error (false, Printf.sprintf "no table %d (expected 1, 2 or 3)" n)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate a table from the paper's evaluation.")
-    Term.(ret (const run $ which $ scale_divisor_arg))
+    Term.(ret (const run $ which $ scale_divisor_arg $ json_arg))
 
 (* ---- addr-space ---- *)
 
@@ -142,37 +162,77 @@ let run_cmd =
     Arg.(value & opt (some int) None
          & info [ "scale" ] ~docv:"N" ~doc:"Override the workload scale.")
   in
-  let run name config scale =
+  let run name config scale json =
+    let label = Harness.Experiment.config_label config in
     match Workload.Catalog.find_batch name with
     | Some batch ->
       let r = Harness.Experiment.run_batch ?scale batch config in
-      Printf.printf "%s under %s:\n  cycles: %sM\n  peak frames: %d\n  VA: %s\n  checker memory: %s\n"
-        name
-        (Harness.Experiment.config_label config)
-        (Harness.Table.fmt_cycles r.Harness.Experiment.cycles)
-        r.Harness.Experiment.peak_frames
-        (Harness.Table.fmt_bytes r.Harness.Experiment.va_bytes)
-        (Harness.Table.fmt_bytes r.Harness.Experiment.extra_memory_bytes);
-      Printf.printf "  %s\n"
-        (Format.asprintf "%a" Vmm.Stats.pp r.Harness.Experiment.stats);
+      if json then
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("workload", J.String name);
+                  ("scheme", J.String label);
+                  ("cycles", J.Float r.Harness.Experiment.cycles);
+                  ("peak_frames", J.Int r.Harness.Experiment.peak_frames);
+                  ("va_bytes", J.Int r.Harness.Experiment.va_bytes);
+                  ( "extra_memory_bytes",
+                    J.Int r.Harness.Experiment.extra_memory_bytes );
+                  ( "total_syscalls",
+                    J.Int (Vmm.Stats.total_syscalls r.Harness.Experiment.stats)
+                  );
+                  ( "stats",
+                    Telemetry.Metrics.to_json
+                      (Vmm.Stats.to_metrics r.Harness.Experiment.stats) );
+                ]))
+      else begin
+        Printf.printf "%s under %s:\n  cycles: %sM\n  peak frames: %d\n  VA: %s\n  checker memory: %s\n"
+          name label
+          (Harness.Table.fmt_cycles r.Harness.Experiment.cycles)
+          r.Harness.Experiment.peak_frames
+          (Harness.Table.fmt_bytes r.Harness.Experiment.va_bytes)
+          (Harness.Table.fmt_bytes r.Harness.Experiment.extra_memory_bytes);
+        Printf.printf "  %s\n"
+          (Format.asprintf "%a" Vmm.Stats.pp r.Harness.Experiment.stats)
+      end;
       `Ok ()
     | None ->
       (match Workload.Catalog.find_server name with
        | Some server ->
          let r = Harness.Experiment.run_server server config in
-         Printf.printf
-           "%s under %s: %d connections, mean %sM cycles/connection, max VA %s\n"
-           name
-           (Harness.Experiment.config_label config)
-           r.Runtime.Process.connections
-           (Harness.Table.fmt_cycles r.Runtime.Process.mean_cycles_per_connection)
-           (Harness.Table.fmt_bytes r.Runtime.Process.max_va_bytes_per_connection);
+         if json then
+           print_endline
+             (J.to_string
+                (J.Obj
+                   [
+                     ("workload", J.String name);
+                     ("scheme", J.String label);
+                     ("connections", J.Int r.Runtime.Process.connections);
+                     ( "mean_cycles_per_connection",
+                       J.Float r.Runtime.Process.mean_cycles_per_connection );
+                     ("total_cycles", J.Float r.Runtime.Process.total_cycles);
+                     ( "max_va_bytes_per_connection",
+                       J.Int r.Runtime.Process.max_va_bytes_per_connection );
+                     ("detections", J.Int r.Runtime.Process.detections);
+                     ( "stats",
+                       Telemetry.Metrics.to_json
+                         (Vmm.Stats.to_metrics r.Runtime.Process.total_stats)
+                     );
+                   ]))
+         else
+           Printf.printf
+             "%s under %s: %d connections, mean %sM cycles/connection, max VA %s\n"
+             name label
+             r.Runtime.Process.connections
+             (Harness.Table.fmt_cycles r.Runtime.Process.mean_cycles_per_connection)
+             (Harness.Table.fmt_bytes r.Runtime.Process.max_va_bytes_per_connection);
          `Ok ()
        | None -> `Error (false, "unknown workload " ^ name))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one scheme and print stats.")
-    Term.(ret (const run $ workload_name $ config_arg $ scale))
+    Term.(ret (const run $ workload_name $ config_arg $ scale $ json_arg))
 
 (* ---- list ---- *)
 
@@ -282,12 +342,68 @@ let trace_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
   in
-  let file =
-    Arg.(value & pos 0 (some file) None
-         & info [] ~docv:"TRACE" ~doc:"Trace file to replay.")
+  let target =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD|TRACE"
+             ~doc:"Workload name to trace through the telemetry sink, or a \
+                   recorded trace file to replay.")
   in
-  let run record_workload record_scale gen_length seed file config =
-    match record_workload, gen_length, file with
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output file for the telemetry trace.")
+  in
+  let format =
+    let formats = [ ("chrome", `Chrome); ("jsonl", `Jsonl); ("text", `Text) ] in
+    Arg.(value & opt (enum formats) `Chrome
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Telemetry trace format: chrome (trace_event JSON, loads \
+                   in Perfetto/about:tracing), jsonl, or text.")
+  in
+  let sample =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Record every N-th samplable event (violations and pool \
+                   lifecycle are always kept).")
+  in
+  let capacity =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Ring-buffer capacity; oldest events are evicted beyond \
+                   this.")
+  in
+  let trace_workload batch record_scale config ~out ~format ~sample ~capacity =
+    let sink = Telemetry.Sink.create ~capacity ~sample_every:sample () in
+    let scheme =
+      Harness.Experiment.make_scheme config
+        ~pa_quality_gain:batch.Workload.Spec.pa_quality_gain ~trace:sink ()
+    in
+    let scale =
+      Option.value record_scale ~default:batch.Workload.Spec.default_scale
+    in
+    batch.Workload.Spec.run scheme ~scale;
+    let events = Telemetry.Sink.events sink in
+    let body =
+      match format with
+      | `Chrome -> Telemetry.Export.to_chrome_string events
+      | `Jsonl -> Telemetry.Export.to_jsonl events
+      | `Text -> Telemetry.Export.to_text events
+    in
+    Out_channel.with_open_text out (fun oc ->
+        Out_channel.output_string oc body);
+    Printf.printf
+      "%s under %s: wrote %d events to %s (%d recorded, %d evicted by ring, \
+       sample 1/%d)\n"
+      batch.Workload.Spec.name
+      (Harness.Experiment.config_label config)
+      (List.length events) out
+      (Telemetry.Sink.recorded sink)
+      (Telemetry.Sink.dropped sink)
+      (Telemetry.Sink.sample_every sink)
+  in
+  let run record_workload record_scale gen_length seed target config out format
+      sample capacity =
+    match record_workload, gen_length, target with
     | Some name, _, _ ->
       (match Workload.Catalog.find_batch name with
        | None -> `Error (false, "unknown workload " ^ name)
@@ -307,31 +423,49 @@ let trace_cmd =
       print_string
         (Workload.Trace.to_string (Workload.Trace.generate ~seed ~length ()));
       `Ok ()
-    | None, None, Some path ->
-      let text = In_channel.with_open_text path In_channel.input_all in
-      (match Workload.Trace.of_string text with
-       | Error e -> `Error (false, e)
-       | Ok trace ->
-         let scheme = Harness.Experiment.make_scheme config () in
-         let result = Workload.Trace.replay trace scheme in
-         Printf.printf
-           "replayed %d events under %s: %d reads, %d violations, %sM cycles\n"
-           (Workload.Trace.length trace)
-           (Harness.Experiment.config_label config)
-           (List.length result.Workload.Trace.reads)
-           result.Workload.Trace.violations
-           (Harness.Table.fmt_cycles (Runtime.Scheme.cycles scheme));
-         `Ok ())
+    | None, None, Some target ->
+      (match Workload.Catalog.find_batch target with
+       | _ when sample < 1 -> `Error (false, "--sample must be at least 1")
+       | _ when capacity < 1 -> `Error (false, "--capacity must be at least 1")
+       | Some batch ->
+         trace_workload batch record_scale config ~out ~format ~sample
+           ~capacity;
+         `Ok ()
+       | None ->
+         if not (Sys.file_exists target) then
+           `Error
+             ( false,
+               Printf.sprintf "%s is neither a workload nor a trace file"
+                 target )
+         else
+           let text = In_channel.with_open_text target In_channel.input_all in
+           (match Workload.Trace.of_string text with
+            | Error e -> `Error (false, e)
+            | Ok trace ->
+              let scheme = Harness.Experiment.make_scheme config () in
+              let result = Workload.Trace.replay trace scheme in
+              Printf.printf
+                "replayed %d events under %s: %d reads, %d violations, %sM cycles\n"
+                (Workload.Trace.length trace)
+                (Harness.Experiment.config_label config)
+                (List.length result.Workload.Trace.reads)
+                result.Workload.Trace.violations
+                (Harness.Table.fmt_cycles (Runtime.Scheme.cycles scheme));
+              `Ok ()))
     | None, None, None ->
-      `Error (true, "provide a trace file to replay, --generate N, or --record W")
+      `Error
+        ( true,
+          "provide a workload to trace, a trace file to replay, --generate N, \
+           or --record W" )
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Generate, record or replay scheme-independent allocation traces.")
+       ~doc:"Trace a workload's events through the telemetry sink, or \
+             generate/record/replay scheme-independent allocation traces.")
     Term.(
       ret
-        (const run $ record_workload $ record_scale $ gen_length $ seed $ file
-         $ config_arg))
+        (const run $ record_workload $ record_scale $ gen_length $ seed
+         $ target $ config_arg $ out $ format $ sample $ capacity))
 
 (* ---- demo ---- *)
 

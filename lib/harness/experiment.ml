@@ -48,9 +48,9 @@ let cost_profile config ~pa_quality_gain =
     Vmm.Cost_model.with_code_quality base
       (base.Vmm.Cost_model.code_quality *. pa_quality_gain)
 
-let make_scheme config ?(pa_quality_gain = 1.0) () =
+let make_scheme config ?(pa_quality_gain = 1.0) ?trace () =
   let machine =
-    Vmm.Machine.create ~cost:(cost_profile config ~pa_quality_gain) ()
+    Vmm.Machine.create ~cost:(cost_profile config ~pa_quality_gain) ?trace ()
   in
   match config with
   | Native | Llvm_base -> Runtime.Schemes.native machine

@@ -39,10 +39,15 @@ val config_label : config -> string
 val all_configs : config list
 
 val make_scheme :
-  config -> ?pa_quality_gain:float -> unit -> Runtime.Scheme.t
+  config ->
+  ?pa_quality_gain:float ->
+  ?trace:Telemetry.Sink.t ->
+  unit ->
+  Runtime.Scheme.t
 (** Fresh machine (with the config's cost profile) plus scheme.
     [pa_quality_gain] adjusts code quality under the pool-based configs
-    only, modeling APA's locality effect on that workload. *)
+    only, modeling APA's locality effect on that workload.  [trace]
+    attaches an event sink to the machine ({!Vmm.Machine.create}). *)
 
 val run_batch : ?scale:int -> Workload.Spec.batch -> config -> result
 (** Run a utility/Olden workload to completion under a fresh machine. *)

@@ -25,32 +25,31 @@ let handler blocks _conn (scheme : Runtime.Scheme.t) =
   scheme.Runtime.Scheme.free buf;
   scheme.Runtime.Scheme.free req
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+(* Fine buckets (256/octave = 0.27% ratio per bucket): the study compares
+   percentile *ratios* across configs, so quantization error must stay
+   well under the few-percent effects being measured. *)
+let latency_buckets_per_octave = 256
 
 let measure ?(connections = 120) config =
   let rng = Workload.Prng.create ~seed:271828 in
-  let samples =
-    Array.init connections (fun conn ->
-        let blocks = request_blocks rng in
-        let result =
-          Runtime.Process.run_connection
-            ~make_scheme:(fun () -> Experiment.make_scheme config ())
-            ~handler:(handler blocks conn)
-        in
-        result.Runtime.Process.cycles)
+  let hist =
+    Telemetry.Histogram.create ~buckets_per_octave:latency_buckets_per_octave ()
   in
-  Array.sort compare samples;
-  let mean =
-    Array.fold_left ( +. ) 0. samples /. float_of_int connections
-  in
+  for conn = 0 to connections - 1 do
+    let blocks = request_blocks rng in
+    let result =
+      Runtime.Process.run_connection
+        ~make_scheme:(fun () -> Experiment.make_scheme config ())
+        ~handler:(handler blocks conn)
+    in
+    Telemetry.Histogram.observe hist result.Runtime.Process.cycles
+  done;
   {
     config;
-    p50 = percentile samples 0.50;
-    p95 = percentile samples 0.95;
-    p99 = percentile samples 0.99;
-    mean;
+    p50 = Telemetry.Histogram.percentile hist 0.50;
+    p95 = Telemetry.Histogram.percentile hist 0.95;
+    p99 = Telemetry.Histogram.percentile hist 0.99;
+    mean = Telemetry.Histogram.mean hist;
   }
 
 let study ?connections () =

@@ -76,3 +76,23 @@ let render rows =
         "Ratio1"; "Ratio2"; "paper R1";
       ]
     (List.map cells rows)
+
+let to_json rows =
+  let open Telemetry.Json in
+  List
+    (List.map
+       (fun r ->
+         Obj
+           [
+             ("name", String r.name);
+             ("loc", Table.json_opt (fun l -> Int l) r.loc);
+             ("native", Float r.native);
+             ("llvm_base", Float r.llvm_base);
+             ("pa", Float r.pa);
+             ("pa_dummy", Float r.pa_dummy);
+             ("ours", Float r.ours);
+             ("ratio1", Float r.ratio1);
+             ("ratio2", Float r.ratio2);
+             ("paper_ratio1", Table.json_opt (fun x -> Float x) r.paper_ratio1);
+           ])
+       rows)

@@ -25,3 +25,6 @@ val rows : ?scale_divisor:int -> unit -> row list
     shrinks workload sizes for quick runs (tests). *)
 
 val render : row list -> string
+
+val to_json : row list -> Telemetry.Json.t
+(** Rows as a JSON array (the [--json] CLI flag and BENCH_results.json). *)

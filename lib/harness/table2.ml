@@ -49,3 +49,20 @@ let render rows =
         "valgrind slowdown"; "paper valgrind";
       ]
     (List.map cells rows)
+
+let to_json rows =
+  let open Telemetry.Json in
+  List
+    (List.map
+       (fun r ->
+         Obj
+           [
+             ("name", String r.name);
+             ("ours_cycles", Float r.ours_cycles);
+             ("valgrind_cycles", Float r.valgrind_cycles);
+             ("ours_slowdown", Float r.ours_slowdown);
+             ("valgrind_slowdown", Float r.valgrind_slowdown);
+             ( "paper_valgrind_slowdown",
+               Table.json_opt (fun x -> Float x) r.paper_valgrind_slowdown );
+           ])
+       rows)

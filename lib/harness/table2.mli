@@ -14,3 +14,6 @@ type row = {
 
 val rows : ?scale_divisor:int -> unit -> row list
 val render : row list -> string
+
+val to_json : row list -> Telemetry.Json.t
+(** Rows as a JSON array (the [--json] CLI flag and BENCH_results.json). *)

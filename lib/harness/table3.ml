@@ -48,3 +48,20 @@ let render rows =
     ~headers:
       [ "Benchmark"; "native"; "LLVM"; "PA+dummy"; "ours"; "Ratio3"; "paper R3" ]
     (List.map cells rows)
+
+let to_json rows =
+  let open Telemetry.Json in
+  List
+    (List.map
+       (fun r ->
+         Obj
+           [
+             ("name", String r.name);
+             ("native", Float r.native);
+             ("llvm_base", Float r.llvm_base);
+             ("pa_dummy", Float r.pa_dummy);
+             ("ours", Float r.ours);
+             ("ratio3", Float r.ratio3);
+             ("paper_ratio3", Table.json_opt (fun x -> Float x) r.paper_ratio3);
+           ])
+       rows)

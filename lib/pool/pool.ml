@@ -11,10 +11,15 @@ type t = {
   machine : Machine.t;
   reclaim : reclaim;
   elem_size : int option;
+  id : int;
   heap : Heap.Freelist_malloc.t;
   owned : range list ref; (* canonical ranges handed to [heap] *)
   mutable destroyed : bool;
 }
+
+(* Process-wide pool numbering, so traces can correlate create/destroy
+   across machines. *)
+let next_id = ref 0
 
 let take_pages machine reclaim owned pages =
   let base =
@@ -35,7 +40,11 @@ let create ?(arena_pages = 16) ?elem_size ~reclaim machine =
   let owned = ref [] in
   let page_source pages = take_pages machine reclaim owned pages in
   let heap = Heap.Freelist_malloc.create ~arena_pages ~page_source machine in
-  { machine; reclaim; elem_size; heap; owned; destroyed = false }
+  incr next_id;
+  let id = !next_id in
+  Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
+      Telemetry.Event.Pool_create { pool = id; elem_size });
+  { machine; reclaim; elem_size; id; heap; owned; destroyed = false }
 
 let check_usable t name =
   if t.destroyed then
@@ -54,6 +63,8 @@ let size_of t a = Heap.Freelist_malloc.size_of t.heap a
 let destroy t =
   check_usable t "destroy";
   t.destroyed <- true;
+  Telemetry.Sink.emit_always t.machine.Machine.trace (fun () ->
+      Telemetry.Event.Pool_destroy { pool = t.id });
   let reclaim_range { base; pages } =
     match t.reclaim with
     | Recycle recycler -> Page_recycler.put recycler ~base ~pages
@@ -64,6 +75,7 @@ let destroy t =
   t.owned := []
 
 let is_destroyed t = t.destroyed
+let id t = t.id
 let live_blocks t = Heap.Freelist_malloc.live_blocks t.heap
 
 let owned_pages t =

@@ -42,6 +42,11 @@ val destroy : t -> unit
     [reclaim] policy and mark the pool unusable. *)
 
 val is_destroyed : t -> bool
+
+val id : t -> int
+(** Process-wide pool number; appears in pool-create/destroy trace
+    events. *)
+
 val live_blocks : t -> int
 val owned_pages : t -> int
 (** Canonical virtual pages currently owned. *)

@@ -11,6 +11,7 @@ type connection_result = {
   cycles : float;          (** simulated cycles spent by the child *)
   va_bytes : int;          (** virtual address space the child consumed *)
   peak_frames : int;       (** child's peak physical footprint, pages *)
+  stats : Vmm.Stats.snapshot;  (** the child's full event counters *)
   detection : Shadow.Report.t option;
       (** the report, if the handler tripped a violation *)
 }
@@ -31,6 +32,8 @@ type server_run = {
   total_cycles : float;
   mean_cycles_per_connection : float;
   max_va_bytes_per_connection : int;
+  total_stats : Vmm.Stats.snapshot;
+      (** per-child counters summed over all connections *)
   detections : int;
 }
 

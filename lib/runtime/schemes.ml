@@ -4,6 +4,18 @@ let raw_load machine addr ~width = Mmu.load machine addr ~width
 let raw_store machine addr ~width v = Mmu.store machine addr ~width v
 let compute_direct machine n = Stats.count_instructions machine.Machine.stats n
 
+(* The enabled check lives at the call site so the disabled path never
+   allocates the event thunk (closures capture site/size/addr). *)
+let trace_malloc machine site size addr =
+  if Telemetry.Sink.enabled machine.Machine.trace then
+    Telemetry.Sink.emit machine.Machine.trace (fun () ->
+        Telemetry.Event.Malloc { site; size; addr })
+
+let trace_free machine site addr =
+  if Telemetry.Sink.enabled machine.Machine.trace then
+    Telemetry.Sink.emit machine.Machine.trace (fun () ->
+        Telemetry.Event.Free { site; addr })
+
 let native machine =
   let malloc_heap = Heap.Freelist_malloc.create machine in
   let rec scheme =
@@ -11,8 +23,15 @@ let native machine =
       {
         Scheme.name = "native";
         machine;
-        malloc = (fun ?site:_ size -> Heap.Freelist_malloc.alloc malloc_heap size);
-        free = (fun ?site:_ a -> Heap.Freelist_malloc.dealloc malloc_heap a);
+        malloc =
+          (fun ?(site = "<unknown>") size ->
+            let a = Heap.Freelist_malloc.alloc malloc_heap size in
+            trace_malloc machine site size a;
+            a);
+        free =
+          (fun ?(site = "<unknown>") a ->
+            Heap.Freelist_malloc.dealloc malloc_heap a;
+            trace_free machine site a);
         load = raw_load machine;
         store = raw_store machine;
         pool_create =
@@ -38,13 +57,16 @@ let pa ?(dummy_syscalls = false) machine =
   let wrap_pool pool =
     {
       Scheme.pool_alloc =
-        (fun ?site:_ size ->
+        (fun ?(site = "<unknown>") size ->
           pool_syscall_pair machine dummy_syscalls;
-          Apa.Pool.alloc pool size);
+          let a = Apa.Pool.alloc pool size in
+          trace_malloc machine site size a;
+          a);
       pool_free =
-        (fun ?site:_ a ->
+        (fun ?(site = "<unknown>") a ->
           pool_syscall_pair machine dummy_syscalls;
-          Apa.Pool.dealloc pool a);
+          Apa.Pool.dealloc pool a;
+          trace_free machine site a);
       pool_destroy = (fun () -> Apa.Pool.destroy pool);
     }
   in
@@ -62,13 +84,29 @@ let pa ?(dummy_syscalls = false) machine =
     guarantees_detection = false;
   }
 
+let trace_violation machine (r : Shadow.Report.t) =
+  Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
+      Telemetry.Event.Violation
+        {
+          kind = Shadow.Report.kind_label r.Shadow.Report.kind;
+          addr = r.Shadow.Report.fault_addr;
+        })
+
 let guarded_load machine registry addr ~width =
-  Shadow.Detector.guard registry ~in_free:false (fun () ->
-      Mmu.load machine addr ~width)
+  try
+    Shadow.Detector.guard registry ~in_free:false (fun () ->
+        Mmu.load machine addr ~width)
+  with Shadow.Report.Violation r as exn ->
+    trace_violation machine r;
+    raise exn
 
 let guarded_store machine registry addr ~width v =
-  Shadow.Detector.guard registry ~in_free:false (fun () ->
-      Mmu.store machine addr ~width v)
+  try
+    Shadow.Detector.guard registry ~in_free:false (fun () ->
+        Mmu.store machine addr ~width v)
+  with Shadow.Report.Violation r as exn ->
+    trace_violation machine r;
+    raise exn
 
 let shadow_basic machine =
   let registry = Shadow.Object_registry.create () in

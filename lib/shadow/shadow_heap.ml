@@ -45,29 +45,41 @@ let malloc t ?(site = "<unknown>") size =
   ignore
     (Object_registry.register t.registry ~canonical ~shadow_base ~pages
        ~user_addr:user ~size ~alloc_site:site);
+  if Telemetry.Sink.enabled t.machine.Machine.trace then
+    Telemetry.Sink.emit t.machine.Machine.trace (fun () ->
+        Telemetry.Event.Malloc { site; size; addr = user });
   user
 
 let violation kind fault_addr info =
   raise (Report.Violation { Report.kind; fault_addr; object_info = info })
 
 let free t ?(site = "<unknown>") user =
-  (* Reading the bookkeeping word is itself the double-free check: a
-     freed object's shadow page is PROT_NONE, so this load traps. *)
-  let canonical =
-    Detector.guard t.registry ~in_free:true (fun () ->
-        Mmu.load t.machine (user - header_bytes) ~width:8)
-  in
-  match Object_registry.find_by_addr t.registry user with
-  | Some obj when obj.Object_registry.user_addr = user ->
-    assert (obj.Object_registry.canonical = canonical);
-    Kernel.mprotect t.machine ~addr:obj.Object_registry.shadow_base
-      ~pages:obj.Object_registry.pages Perm.No_access;
-    Object_registry.mark_freed t.registry obj ~free_site:site;
-    t.allocator.dealloc canonical
-  | Some obj ->
-    (* Interior pointer passed to free. *)
-    violation Report.Invalid_free user (Some (Detector.object_info obj))
-  | None -> violation Report.Invalid_free user None
+  try
+    (* Reading the bookkeeping word is itself the double-free check: a
+       freed object's shadow page is PROT_NONE, so this load traps. *)
+    let canonical =
+      Detector.guard t.registry ~in_free:true (fun () ->
+          Mmu.load t.machine (user - header_bytes) ~width:8)
+    in
+    match Object_registry.find_by_addr t.registry user with
+    | Some obj when obj.Object_registry.user_addr = user ->
+      assert (obj.Object_registry.canonical = canonical);
+      Kernel.mprotect t.machine ~addr:obj.Object_registry.shadow_base
+        ~pages:obj.Object_registry.pages Perm.No_access;
+      Object_registry.mark_freed t.registry obj ~free_site:site;
+      t.allocator.dealloc canonical;
+      if Telemetry.Sink.enabled t.machine.Machine.trace then
+        Telemetry.Sink.emit t.machine.Machine.trace (fun () ->
+            Telemetry.Event.Free { site; addr = user })
+    | Some obj ->
+      (* Interior pointer passed to free. *)
+      violation Report.Invalid_free user (Some (Detector.object_info obj))
+    | None -> violation Report.Invalid_free user None
+  with Report.Violation r as exn ->
+    Telemetry.Sink.emit_always t.machine.Machine.trace (fun () ->
+        Telemetry.Event.Violation
+          { kind = Report.kind_label r.Report.kind; addr = r.Report.fault_addr });
+    raise exn
 
 let registry t = t.registry
 let machine t = t.machine

@@ -1,0 +1,68 @@
+type kind =
+  | Malloc of { site : string; size : int; addr : int }
+  | Free of { site : string; addr : int }
+  | Pool_create of { pool : int; elem_size : int option }
+  | Pool_destroy of { pool : int }
+  | Syscall of { name : string; pages : int }
+  | Page_fault of { addr : int; access : string; fault : string }
+  | Tlb_flush of { pages : int }
+  | Violation of { kind : string; addr : int }
+
+type t = {
+  seq : int;
+  at : float;
+  kind : kind;
+}
+
+let name = function
+  | Malloc _ -> "malloc"
+  | Free _ -> "free"
+  | Pool_create _ -> "pool-create"
+  | Pool_destroy _ -> "pool-destroy"
+  | Syscall { name; _ } -> "syscall:" ^ name
+  | Page_fault _ -> "page-fault"
+  | Tlb_flush _ -> "tlb-flush"
+  | Violation { kind; _ } -> "violation:" ^ kind
+
+let category = function
+  | Malloc _ | Free _ -> "heap"
+  | Pool_create _ | Pool_destroy _ -> "pool"
+  | Syscall _ -> "kernel"
+  | Page_fault _ | Tlb_flush _ -> "mmu"
+  | Violation _ -> "detector"
+
+let hex addr = Printf.sprintf "0x%x" addr
+
+let args = function
+  | Malloc { site; size; addr } ->
+    [
+      ("site", Json.String site);
+      ("size", Json.Int size);
+      ("addr", Json.String (hex addr));
+    ]
+  | Free { site; addr } ->
+    [ ("site", Json.String site); ("addr", Json.String (hex addr)) ]
+  | Pool_create { pool; elem_size } ->
+    [
+      ("pool", Json.Int pool);
+      ( "elem_size",
+        match elem_size with Some n -> Json.Int n | None -> Json.Null );
+    ]
+  | Pool_destroy { pool } -> [ ("pool", Json.Int pool) ]
+  | Syscall { name; pages } ->
+    [ ("name", Json.String name); ("pages", Json.Int pages) ]
+  | Page_fault { addr; access; fault } ->
+    [
+      ("addr", Json.String (hex addr));
+      ("access", Json.String access);
+      ("fault", Json.String fault);
+    ]
+  | Tlb_flush { pages } -> [ ("pages", Json.Int pages) ]
+  | Violation { kind; addr } ->
+    [ ("kind", Json.String kind); ("addr", Json.String (hex addr)) ]
+
+let pp ppf t =
+  Format.fprintf ppf "[%12.0fcy] #%-6d %-18s" t.at t.seq (name t.kind);
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k (Json.to_string v))
+    (args t.kind)

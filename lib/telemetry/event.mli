@@ -1,0 +1,35 @@
+(** Typed trace events.
+
+    One constructor per thing the simulated stack can do that is worth
+    seeing on a timeline: heap traffic, pool lifecycle, kernel
+    crossings, MMU faults, TLB shootdowns, and detected violations.
+    Addresses and sites are plain ints/strings so the telemetry library
+    stays dependency-free (the VMM depends on it, not vice versa). *)
+
+type kind =
+  | Malloc of { site : string; size : int; addr : int }
+  | Free of { site : string; addr : int }
+  | Pool_create of { pool : int; elem_size : int option }
+  | Pool_destroy of { pool : int }
+  | Syscall of { name : string; pages : int }
+  | Page_fault of { addr : int; access : string; fault : string }
+  | Tlb_flush of { pages : int }
+  | Violation of { kind : string; addr : int }
+
+type t = {
+  seq : int;  (** recording order, a tiebreak for equal timestamps *)
+  at : float;  (** logical-cycle timestamp from the machine's cost model *)
+  kind : kind;
+}
+
+val name : kind -> string
+(** Short stable label: ["malloc"], ["syscall:mmap"], ... *)
+
+val category : kind -> string
+(** Coarse grouping for trace viewers: ["heap"], ["pool"], ["kernel"],
+    ["mmu"], ["detector"]. *)
+
+val args : kind -> (string * Json.t) list
+(** The constructor's payload as JSON fields. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+let event_to_json (e : Event.t) =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("cycles", Json.Float e.at);
+       ("type", Json.String (Event.name e.kind));
+       ("cat", Json.String (Event.category e.kind));
+     ]
+    @ Event.args e.kind)
+
+let to_jsonl events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let cycles_per_us = 1000.
+
+let chrome_event ~pid ~tid (e : Event.t) =
+  Json.Obj
+    [
+      ("name", Json.String (Event.name e.kind));
+      ("cat", Json.String (Event.category e.kind));
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", Json.Float (e.at /. cycles_per_us));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj (Event.args e.kind));
+    ]
+
+let chrome_trace ?(pid = 1) ?(tid = 1) events =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (chrome_event ~pid ~tid) events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome_string ?pid ?tid events =
+  Json.to_string (chrome_trace ?pid ?tid events)
+
+let to_text events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" Event.pp e))
+    events;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Exporters for recorded events: pretty text, JSON-lines, and the
+    Chrome [trace_event] format (loadable in [about://tracing] and
+    Perfetto).
+
+    Chrome timestamps are microseconds; logical cycles are converted at
+    1 GHz (1000 cycles = 1 us), which keeps traces readable without
+    pretending to wall-clock accuracy. *)
+
+val event_to_json : Event.t -> Json.t
+(** One flat object: [{"seq", "cycles", "type", "cat", ...args}]. *)
+
+val to_jsonl : Event.t list -> string
+(** One {!event_to_json} object per line. *)
+
+val chrome_trace : ?pid:int -> ?tid:int -> Event.t list -> Json.t
+(** The [{"traceEvents": [...]}] envelope; every event becomes an
+    instant event (["ph": "i"]). *)
+
+val to_chrome_string : ?pid:int -> ?tid:int -> Event.t list -> string
+
+val to_text : Event.t list -> string
+(** One pretty line per event. *)

@@ -1,0 +1,36 @@
+(** A log-bucketed histogram of non-negative samples.
+
+    Buckets are geometric: [buckets_per_octave] buckets per doubling of
+    the value, so a bucket spans a ratio of [2 ** (1 /
+    buckets_per_octave)] and a percentile estimate is within half that
+    ratio of the true sample.  Memory is proportional to the number of
+    distinct occupied buckets, not to the number of samples — this is
+    what lets latency percentiles stay always-on. *)
+
+type t
+
+val create : ?buckets_per_octave:int -> unit -> t
+(** Default 16 buckets per octave (~2.2% worst-case relative error). *)
+
+val observe : t -> float -> unit
+(** Record one sample.  Negative samples are clamped to zero; zeros are
+    tracked exactly in a dedicated bucket. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+val max_value : t -> float
+(** Exact observed extrema; 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in [0,1]: the value at rank [ceil (q *
+    count)], estimated as the geometric midpoint of its bucket and
+    clamped to the observed extrema.  [q <= 0] gives the minimum, [q >=
+    1] the maximum, and an empty histogram gives 0. *)
+
+val bucket_ratio : t -> float
+(** The ratio spanned by one bucket, [2 ** (1 / buckets_per_octave)]:
+    the worst-case multiplicative error bound of {!percentile}. *)

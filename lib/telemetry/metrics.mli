@@ -1,0 +1,37 @@
+(** A metrics registry: named counters, gauges, and histograms.
+
+    Handles are get-or-create — [counter t "vmm.faults"] returns the
+    same counter every time — so instrumentation sites need no setup
+    order.  Registration order is preserved for stable export. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Raises [Invalid_argument] if the name is registered as another
+    metric kind. *)
+
+val incr : ?by:int -> counter -> unit
+val set_counter : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?buckets_per_octave:int -> t -> string -> Histogram.t
+(** [buckets_per_octave] only applies on first creation. *)
+
+val names : t -> string list
+(** Registered metric names, in registration order. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count, mean, p50, p90, p99, max}}}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One metric per line, for humans. *)

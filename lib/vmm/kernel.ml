@@ -1,3 +1,12 @@
+let trace_syscall (m : Machine.t) name pages =
+  if Telemetry.Sink.enabled m.trace then
+  Telemetry.Sink.emit m.trace (fun () ->
+      Telemetry.Event.Syscall { name; pages })
+
+let trace_shootdown (m : Machine.t) pages =
+  if Telemetry.Sink.enabled m.trace then
+    Telemetry.Sink.emit m.trace (fun () -> Telemetry.Event.Tlb_flush { pages })
+
 let check_aligned name addr =
   if not (Addr.is_page_aligned addr) then
     invalid_arg (Printf.sprintf "Kernel.%s: unaligned address 0x%x" name addr)
@@ -26,6 +35,7 @@ let map_fresh_range (m : Machine.t) base pages =
 let mmap (m : Machine.t) ~pages =
   check_pages "mmap" pages;
   Stats.count_syscall m.stats Stats.Sys_mmap;
+  trace_syscall m "mmap" pages;
   let base = Machine.fresh_pages m pages in
   map_fresh_range m base pages;
   base
@@ -34,6 +44,7 @@ let mmap_fixed (m : Machine.t) ~addr ~pages =
   check_aligned "mmap_fixed" addr;
   check_pages "mmap_fixed" pages;
   Stats.count_syscall m.stats Stats.Sys_mmap;
+  trace_syscall m "mmap" pages;
   map_fresh_range m addr pages
 
 let frame_of_mapped (m : Machine.t) page =
@@ -56,6 +67,7 @@ let mremap_alias (m : Machine.t) ~src ~pages =
   check_aligned "mremap_alias" src;
   check_pages "mremap_alias" pages;
   Stats.count_syscall m.stats Stats.Sys_mremap;
+  trace_syscall m "mremap" pages;
   let dst = Machine.fresh_pages m pages in
   alias_range m ~src ~dst ~pages;
   dst
@@ -65,22 +77,26 @@ let mremap_alias_at (m : Machine.t) ~src ~dst ~pages =
   check_aligned "mremap_alias_at" dst;
   check_pages "mremap_alias_at" pages;
   Stats.count_syscall m.stats Stats.Sys_mremap;
+  trace_syscall m "mremap" pages;
   alias_range m ~src ~dst ~pages
 
 let mprotect (m : Machine.t) ~addr ~pages perm =
   check_aligned "mprotect" addr;
   check_pages "mprotect" pages;
   Stats.count_syscall m.stats Stats.Sys_mprotect;
+  trace_syscall m "mprotect" pages;
   for i = 0 to pages - 1 do
     let page = Addr.page_index addr + i in
     Page_table.set_perm m.page_table ~page perm;
     Tlb.invalidate_page m.tlb ~page
-  done
+  done;
+  trace_shootdown m pages
 
 let munmap (m : Machine.t) ~addr ~pages =
   check_aligned "munmap" addr;
   check_pages "munmap" pages;
   Stats.count_syscall m.stats Stats.Sys_munmap;
+  trace_syscall m "munmap" pages;
   for i = 0 to pages - 1 do
     let page = Addr.page_index addr + i in
     let entry = Page_table.unmap m.page_table ~page in
@@ -88,7 +104,9 @@ let munmap (m : Machine.t) ~addr ~pages =
     Frame_table.decr_ref m.frames entry.frame
   done
 
-let dummy_syscall (m : Machine.t) = Stats.count_syscall m.stats Stats.Sys_dummy
+let dummy_syscall (m : Machine.t) =
+  Stats.count_syscall m.stats Stats.Sys_dummy;
+  trace_syscall m "dummy" 0
 
 let page_perm (m : Machine.t) addr =
   match Page_table.lookup m.page_table ~page:(Addr.page_index addr) with

@@ -4,30 +4,42 @@ type t = {
   tlb : Tlb.t;
   cache : Cache.t;
   stats : Stats.t;
+  trace : Telemetry.Sink.t;
   mutable cost : Cost_model.t;
   mutable next_va : Addr.t;
 }
 
 let va_base = Addr.of_page 0x10000 (* 256 MiB: keeps 0 and low pages invalid *)
 
-let create ?(cost = Cost_model.llvm_base) ?(tlb_entries = 64) () =
-  {
-    frames = Frame_table.create ();
-    page_table = Page_table.create ();
-    tlb = Tlb.create ~entries:tlb_entries ();
-    cache = Cache.create ();
-    stats = Stats.create ();
-    cost;
-    next_va = va_base;
-  }
+let cycles t = Cost_model.cycles t.cost (Stats.snapshot t.stats)
+
+let create ?(cost = Cost_model.llvm_base) ?(tlb_entries = 64) ?trace () =
+  let trace =
+    match trace with
+    | Some sink -> sink
+    | None -> Telemetry.Sink.disabled ()
+  in
+  let t =
+    {
+      frames = Frame_table.create ();
+      page_table = Page_table.create ();
+      tlb = Tlb.create ~entries:tlb_entries ();
+      cache = Cache.create ();
+      stats = Stats.create ();
+      trace;
+      cost;
+      next_va = va_base;
+    }
+  in
+  (* Events carry the machine's own logical clock. *)
+  Telemetry.Sink.set_clock trace (fun () -> cycles t);
+  t
 
 let fresh_pages t n =
   assert (n > 0);
   let base = t.next_va in
   t.next_va <- t.next_va + (n * Addr.page_size);
   base
-
-let cycles t = Cost_model.cycles t.cost (Stats.snapshot t.stats)
 
 let cycles_since t before =
   Cost_model.cycles t.cost (Stats.diff (Stats.snapshot t.stats) before)

@@ -11,13 +11,17 @@ type t = {
   tlb : Tlb.t;
   cache : Cache.t;  (** physically-indexed data cache (stats-only by default) *)
   stats : Stats.t;
+  trace : Telemetry.Sink.t;  (** event-trace attachment; disabled by default *)
   mutable cost : Cost_model.t;
   mutable next_va : Addr.t;  (** bump pointer for fresh virtual regions *)
 }
 
-val create : ?cost:Cost_model.t -> ?tlb_entries:int -> unit -> t
+val create :
+  ?cost:Cost_model.t -> ?tlb_entries:int -> ?trace:Telemetry.Sink.t -> unit -> t
 (** Fresh machine.  The virtual address space starts at a non-zero base
-    so that address 0 is never valid (null-pointer hygiene). *)
+    so that address 0 is never valid (null-pointer hygiene).  [trace]
+    attaches an event sink (see {!Telemetry.Sink}); its clock is set to
+    this machine's simulated cycle count. *)
 
 val fresh_pages : t -> int -> Addr.t
 (** Reserve [n] pages of *virtual address space* (no mapping is

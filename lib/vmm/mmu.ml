@@ -3,6 +3,15 @@ let valid_width w =
   | 1 | 2 | 4 | 8 -> ()
   | _ -> invalid_arg (Printf.sprintf "Mmu: invalid access width %d" w)
 
+let access_label = function
+  | Perm.Read -> "read"
+  | Perm.Write -> "write"
+
+let trace_fault (m : Machine.t) addr access fault =
+  if Telemetry.Sink.enabled m.trace then
+  Telemetry.Sink.emit m.trace (fun () ->
+      Telemetry.Event.Page_fault { addr; access = access_label access; fault })
+
 (* Translate one page, using the TLB, and check permissions against the
    page table (permission changes must take effect immediately, as an OS
    performs a TLB shootdown on mprotect). *)
@@ -11,10 +20,12 @@ let translate (m : Machine.t) addr access =
   match Page_table.lookup m.page_table ~page with
   | None ->
     Stats.count_fault m.stats;
+    trace_fault m addr access "unmapped";
     raise (Fault.Trap (Fault.Unmapped { addr; access }))
   | Some { frame; perm } ->
     if not (Perm.allows perm access) then begin
       Stats.count_fault m.stats;
+      trace_fault m addr access "protection";
       raise (Fault.Trap (Fault.Protection { addr; access; perm }))
     end;
     (match Tlb.lookup m.tlb m.stats ~page with

@@ -143,6 +143,78 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     frames_allocated = a.frames_allocated - b.frames_allocated;
   }
 
+(* Field list shared by the telemetry-registry shim: one counter per
+   snapshot field, under the "vmm." namespace. *)
+let field_values (s : snapshot) =
+  [
+    ("vmm.instructions", s.instructions);
+    ("vmm.loads", s.loads);
+    ("vmm.stores", s.stores);
+    ("vmm.tlb_hits", s.tlb_hits);
+    ("vmm.tlb_misses", s.tlb_misses);
+    ("vmm.tlb_flushes", s.tlb_flushes);
+    ("vmm.cache_hits", s.cache_hits);
+    ("vmm.cache_misses", s.cache_misses);
+    ("vmm.syscalls_mmap", s.syscalls_mmap);
+    ("vmm.syscalls_mremap", s.syscalls_mremap);
+    ("vmm.syscalls_mprotect", s.syscalls_mprotect);
+    ("vmm.syscalls_munmap", s.syscalls_munmap);
+    ("vmm.syscalls_dummy", s.syscalls_dummy);
+    ("vmm.faults", s.faults);
+    ("vmm.pages_mapped", s.pages_mapped);
+    ("vmm.frames_allocated", s.frames_allocated);
+  ]
+
+let to_metrics ?(registry = Telemetry.Metrics.create ()) s =
+  List.iter
+    (fun (name, v) ->
+      Telemetry.Metrics.set_counter (Telemetry.Metrics.counter registry name) v)
+    (field_values s);
+  registry
+
+let of_metrics registry =
+  let get name =
+    Telemetry.Metrics.counter_value (Telemetry.Metrics.counter registry name)
+  in
+  {
+    instructions = get "vmm.instructions";
+    loads = get "vmm.loads";
+    stores = get "vmm.stores";
+    tlb_hits = get "vmm.tlb_hits";
+    tlb_misses = get "vmm.tlb_misses";
+    tlb_flushes = get "vmm.tlb_flushes";
+    cache_hits = get "vmm.cache_hits";
+    cache_misses = get "vmm.cache_misses";
+    syscalls_mmap = get "vmm.syscalls_mmap";
+    syscalls_mremap = get "vmm.syscalls_mremap";
+    syscalls_mprotect = get "vmm.syscalls_mprotect";
+    syscalls_munmap = get "vmm.syscalls_munmap";
+    syscalls_dummy = get "vmm.syscalls_dummy";
+    faults = get "vmm.faults";
+    pages_mapped = get "vmm.pages_mapped";
+    frames_allocated = get "vmm.frames_allocated";
+  }
+
+let sum (a : snapshot) (b : snapshot) : snapshot =
+  {
+    instructions = a.instructions + b.instructions;
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    tlb_hits = a.tlb_hits + b.tlb_hits;
+    tlb_misses = a.tlb_misses + b.tlb_misses;
+    tlb_flushes = a.tlb_flushes + b.tlb_flushes;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    syscalls_mmap = a.syscalls_mmap + b.syscalls_mmap;
+    syscalls_mremap = a.syscalls_mremap + b.syscalls_mremap;
+    syscalls_mprotect = a.syscalls_mprotect + b.syscalls_mprotect;
+    syscalls_munmap = a.syscalls_munmap + b.syscalls_munmap;
+    syscalls_dummy = a.syscalls_dummy + b.syscalls_dummy;
+    faults = a.faults + b.faults;
+    pages_mapped = a.pages_mapped + b.pages_mapped;
+    frames_allocated = a.frames_allocated + b.frames_allocated;
+  }
+
 let total_syscalls s =
   s.syscalls_mmap + s.syscalls_mremap + s.syscalls_mprotect + s.syscalls_munmap
   + s.syscalls_dummy

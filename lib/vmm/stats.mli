@@ -54,5 +54,25 @@ val zero : snapshot
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the per-field difference. *)
 
+val sum : snapshot -> snapshot -> snapshot
+(** Per-field addition, for aggregating across machines (e.g. one per
+    forked connection). *)
+
 val total_syscalls : snapshot -> int
 val pp : Format.formatter -> snapshot -> unit
+
+(** {2 Telemetry-registry shim}
+
+    A snapshot is equivalently a set of counters in a
+    {!Telemetry.Metrics} registry (names ["vmm.loads"],
+    ["vmm.faults"], ...).  [of_metrics (to_metrics s) = s], so
+    {!diff}/{!pp} compose with the registry exporters. *)
+
+val field_values : snapshot -> (string * int) list
+(** Counter name/value pairs, in declaration order. *)
+
+val to_metrics : ?registry:Telemetry.Metrics.t -> snapshot -> Telemetry.Metrics.t
+(** Write every field into [registry] (fresh one by default). *)
+
+val of_metrics : Telemetry.Metrics.t -> snapshot
+(** Read the fields back; unregistered counters read as 0. *)
