@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-smoke check clean
 
 all: build
 
@@ -12,12 +12,20 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Quick bench run (scale divisor 16) followed by a structural check of
+# the results file: fails if BENCH_results.json is malformed or the
+# fast-path invariants (no walk on TLB hit, one frame lookup per word
+# access) do not hold.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+	dune exec bench/validate_results.exe -- BENCH_results.json
+
 # The CI gate: build, the whole test suite, and a scale-divided bench
-# run that still exercises every section and emits BENCH_results.json.
+# run that still exercises every section and validates BENCH_results.json.
 check:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- --smoke
+	$(MAKE) bench-smoke
 
 clean:
 	dune clean

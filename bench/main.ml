@@ -415,7 +415,7 @@ let run_bechamel () =
 
 (* ---- JSON results file ---- *)
 
-let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel =
+let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath =
   let doc =
     J.Obj
       [
@@ -430,6 +430,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel =
                (fun (name, ns) ->
                  J.Obj [ ("name", J.String name); ("ns_per_run", J.Float ns) ])
                bechamel) );
+        ("fastpath", fastpath);
       ]
   in
   Out_channel.with_open_text out (fun oc ->
@@ -473,6 +474,7 @@ let () =
   run_exhaustion ();
   run_detection ();
   run_ablations ();
+  let fastpath = Fastpath.run ~smoke:!smoke () in
   let bechamel =
     match Sys.getenv_opt "SKIP_BECHAMEL" with
     | Some _ ->
@@ -487,5 +489,5 @@ let () =
         ("table2", Harness.Table2.to_json t2);
         ("table3", Harness.Table3.to_json t3);
       ]
-    ~costs ~bechamel;
+    ~costs ~bechamel ~fastpath;
   print_endline "\nAll sections complete."

@@ -1,0 +1,66 @@
+(* Sanity-checks a BENCH_results.json produced by bench/main.exe: the
+   file must parse as JSON and carry every section the docs promise
+   (tables 1-3, cost rows, bechamel, the fast-path microbench).  Run by
+   [make bench-smoke] so a malformed results file fails CI instead of
+   silently shipping. *)
+
+module J = Telemetry.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate: " ^ m); exit 1) fmt
+
+let member path doc key =
+  match J.member key doc with
+  | Some v -> v
+  | None -> fail "missing key %s.%s" path key
+
+let non_empty_list path = function
+  | J.List (_ :: _ as l) -> l
+  | J.List [] -> fail "%s is empty" path
+  | _ -> fail "%s is not a list" path
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" file e
+  in
+  let doc =
+    match J.of_string text with
+    | Ok d -> d
+    | Error e -> fail "%s does not parse: %s" file e
+  in
+  (match member "" doc "schema" with
+   | J.Int 1 -> ()
+   | _ -> fail "schema must be 1");
+  let tables = member "" doc "tables" in
+  List.iter
+    (fun t -> ignore (member "tables" tables t))
+    [ "table1"; "table2"; "table3" ];
+  ignore (non_empty_list "cost_rows" (member "" doc "cost_rows"));
+  (match member "" doc "bechamel" with
+   | J.List _ -> () (* may be empty under SKIP_BECHAMEL *)
+   | _ -> fail "bechamel is not a list");
+  let fastpath = member "" doc "fastpath" in
+  let rows = non_empty_list "fastpath.rows" (member "fastpath" fastpath "rows") in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun k -> ignore (member "fastpath.rows[]" row k))
+        [ "name"; "before_ns"; "after_ns"; "speedup" ])
+    rows;
+  let structural = member "fastpath" fastpath "structural" in
+  let structural_int k =
+    match member "fastpath.structural" structural k with
+    | J.Int n -> n
+    | _ -> fail "fastpath.structural.%s is not an int" k
+  in
+  (* The design's structural invariants, re-checked at validation time:
+     a TLB hit must not walk the page table, and a word access must do
+     exactly one frame lookup. *)
+  if structural_int "page_table_walks_per_tlb_hit_load" <> 0 then
+    fail "TLB-hit load walked the page table";
+  if structural_int "frame_lookups_per_load8" <> 1 then
+    fail "8-byte load did not do exactly one frame lookup";
+  if structural_int "frame_lookups_per_store8" <> 1 then
+    fail "8-byte store did not do exactly one frame lookup";
+  Printf.printf "validate: %s OK (%d fastpath rows)\n" file (List.length rows)

@@ -21,6 +21,14 @@ type t = {
           (cache effects are folded into the code-quality factor, to keep
           the paper-table calibration), nonzero only in the cache
           ablation via {!with_cache_penalty} *)
+  shootdown_cost : float;
+      (** extra cycles per ranged TLB shootdown operation (an IPI on a
+          real SMP); 0 in the default profiles — the calibration folds
+          shootdown cost into [syscall_cost], since every shootdown rides
+          an [mprotect]/[munmap] — nonzero only in the shootdown ablation
+          via {!with_shootdown_cost}.  Charged per {e operation}, so
+          batching N pages into one shootdown is N times cheaper than N
+          per-page calls. *)
   syscall_cost : float;      (** cycles per syscall (entry/exit + work) *)
   fault_cost : float;        (** cycles to deliver a trap to the handler *)
   code_quality : float;      (** multiplier on compiler-emitted work *)
@@ -39,6 +47,10 @@ val with_code_quality : t -> float -> t
 
 val with_cache_penalty : t -> float -> t
 (** Charge this many cycles per data-cache miss (cache ablation). *)
+
+val with_shootdown_cost : t -> float -> t
+(** Charge this many cycles per ranged TLB shootdown (batching
+    ablation). *)
 
 val cycles : t -> Stats.snapshot -> float
 (** Total simulated cycles for a snapshot (typically a {!Stats.diff}). *)

@@ -1,28 +1,73 @@
+(* Physical memory as a growable slot array indexed by frame number —
+   frame lookup is one bounds-checked array read, not a hash probe.
+   Freed frame numbers go on a free list and are reused (as a real
+   physical allocator would), which also keeps the array bounded by the
+   *peak* frame count rather than the cumulative allocation count. *)
+
 type frame = int
 
 type slot = { storage : Bytes.t; mutable refs : int }
 
 type t = {
-  frames : (frame, slot) Hashtbl.t;
-  mutable next : frame;
+  mutable slots : slot option array;
+  mutable free : frame list; (* retired frame numbers, ready for reuse *)
+  mutable next : frame;      (* never-used watermark *)
+  mutable live : int;
   mutable peak : int;
+  mutable spare : Bytes.t list;
+      (* retired page buffers, zero-filled on reuse: a munmap/mmap churn
+         loop recycles storage instead of hammering the GC with fresh
+         4 KiB allocations *)
+  mutable lookups : int;     (* diagnostic: slot lookups performed *)
 }
 
-let create () = { frames = Hashtbl.create 1024; next = 0; peak = 0 }
+let create () =
+  { slots = Array.make 1024 None; free = []; next = 0; live = 0; peak = 0;
+    spare = []; lookups = 0 }
+
+let grow t want =
+  let len = ref (Array.length t.slots) in
+  while !len <= want do
+    len := !len * 2
+  done;
+  let slots = Array.make !len None in
+  Array.blit t.slots 0 slots 0 (Array.length t.slots);
+  t.slots <- slots
 
 let allocate t stats =
-  let f = t.next in
-  t.next <- t.next + 1;
-  Hashtbl.replace t.frames f { storage = Bytes.make Addr.page_size '\000'; refs = 0 };
+  let f =
+    match t.free with
+    | f :: rest ->
+      t.free <- rest;
+      f
+    | [] ->
+      let f = t.next in
+      t.next <- t.next + 1;
+      if f >= Array.length t.slots then grow t f;
+      f
+  in
+  let storage =
+    match t.spare with
+    | b :: rest ->
+      t.spare <- rest;
+      Bytes.fill b 0 Addr.page_size '\000';
+      b
+    | [] -> Bytes.make Addr.page_size '\000'
+  in
+  t.slots.(f) <- Some { storage; refs = 0 };
   Stats.count_frame_allocated stats;
-  let live = Hashtbl.length t.frames in
-  if live > t.peak then t.peak <- live;
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live;
   f
 
 let slot t f =
-  match Hashtbl.find_opt t.frames f with
-  | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Frame_table: unknown frame %d" f)
+  t.lookups <- t.lookups + 1;
+  if f < 0 || f >= Array.length t.slots then
+    invalid_arg (Printf.sprintf "Frame_table: unknown frame %d" f)
+  else
+    match Array.unsafe_get t.slots f with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Frame_table: unknown frame %d" f)
 
 let incr_ref t f =
   let s = slot t f in
@@ -32,12 +77,43 @@ let decr_ref t f =
   let s = slot t f in
   s.refs <- s.refs - 1;
   assert (s.refs >= 0);
-  if s.refs = 0 then Hashtbl.remove t.frames f
+  if s.refs = 0 then begin
+    t.slots.(f) <- None;
+    t.free <- f :: t.free;
+    t.spare <- s.storage :: t.spare;
+    t.live <- t.live - 1
+  end
 
 let ref_count t f = (slot t f).refs
-let live_frames t = Hashtbl.length t.frames
+let live_frames t = t.live
 let peak_frames t = t.peak
 
 let read_byte t f off = Char.code (Bytes.get (slot t f).storage off)
 let write_byte t f off v = Bytes.set (slot t f).storage off (Char.chr (v land 0xff))
-let exists t f = Hashtbl.mem t.frames f
+
+(* Word-wide access: one slot lookup and one [Bytes] primitive for the
+   whole access.  [off + width] must stay within the page (the MMU's
+   single-page fast path guarantees it); widths are 1/2/4/8 as validated
+   by the MMU.  Values are little-endian, matching the byte accessors:
+   an 8-byte value round-trips modulo 2^63 exactly as the per-byte loop
+   did (both truncate the same way on OCaml's 63-bit ints). *)
+let read_word t f off ~width =
+  let s = (slot t f).storage in
+  match width with
+  | 1 -> Char.code (Bytes.get s off)
+  | 2 -> Bytes.get_uint16_le s off
+  | 4 -> Int32.to_int (Bytes.get_int32_le s off) land 0xFFFFFFFF
+  | 8 -> Int64.to_int (Bytes.get_int64_le s off)
+  | _ -> invalid_arg (Printf.sprintf "Frame_table.read_word: width %d" width)
+
+let write_word t f off v ~width =
+  let s = (slot t f).storage in
+  match width with
+  | 1 -> Bytes.set s off (Char.chr (v land 0xff))
+  | 2 -> Bytes.set_uint16_le s off (v land 0xffff)
+  | 4 -> Bytes.set_int32_le s off (Int32.of_int v)
+  | 8 -> Bytes.set_int64_le s off (Int64.of_int v)
+  | _ -> invalid_arg (Printf.sprintf "Frame_table.write_word: width %d" width)
+
+let exists t f = f >= 0 && f < Array.length t.slots && t.slots.(f) <> None
+let lookup_count t = t.lookups

@@ -3,7 +3,12 @@ let trace_syscall (m : Machine.t) name pages =
   Telemetry.Sink.emit m.trace (fun () ->
       Telemetry.Event.Syscall { name; pages })
 
-let trace_shootdown (m : Machine.t) pages =
+(* One ranged TLB shootdown: a single sweep of the TLB, one stats count
+   and one trace event for the whole range — never one per page.  This
+   is the batching the paper's pooldestroy-time bulk mprotect relies on. *)
+let shootdown_range (m : Machine.t) ~page ~pages =
+  Tlb.invalidate_range m.tlb ~page ~pages;
+  Stats.count_tlb_shootdown m.stats ~pages;
   if Telemetry.Sink.enabled m.trace then
     Telemetry.Sink.emit m.trace (fun () -> Telemetry.Event.Tlb_flush { pages })
 
@@ -15,7 +20,9 @@ let check_pages name pages =
   if pages <= 0 then invalid_arg (Printf.sprintf "Kernel.%s: pages <= 0" name)
 
 (* Install a mapping for one page, releasing any previous mapping of that
-   virtual page first (MAP_FIXED semantics). *)
+   virtual page first (MAP_FIXED semantics).  The TLB is shot down on
+   every remap, so a cached translation can never outlive its page-table
+   entry — the fast path's coherence invariant. *)
 let map_page (m : Machine.t) page frame perm =
   (match Page_table.lookup m.page_table ~page with
    | Some old ->
@@ -85,24 +92,27 @@ let mprotect (m : Machine.t) ~addr ~pages perm =
   check_pages "mprotect" pages;
   Stats.count_syscall m.stats Stats.Sys_mprotect;
   trace_syscall m "mprotect" pages;
-  for i = 0 to pages - 1 do
-    let page = Addr.page_index addr + i in
-    Page_table.set_perm m.page_table ~page perm;
-    Tlb.invalidate_page m.tlb ~page
-  done;
-  trace_shootdown m pages
+  let page = Addr.page_index addr in
+  Page_table.set_perm_range m.page_table ~page ~pages perm;
+  shootdown_range m ~page ~pages
 
 let munmap (m : Machine.t) ~addr ~pages =
   check_aligned "munmap" addr;
   check_pages "munmap" pages;
   Stats.count_syscall m.stats Stats.Sys_munmap;
   trace_syscall m "munmap" pages;
-  for i = 0 to pages - 1 do
-    let page = Addr.page_index addr + i in
-    let entry = Page_table.unmap m.page_table ~page in
-    Tlb.invalidate_page m.tlb ~page;
+  let page = Addr.page_index addr in
+  (* Validate the whole range up front: a failed call must not leave a
+     prefix unmapped with its TLB entries still live. *)
+  for p = page to page + pages - 1 do
+    if not (Page_table.is_mapped m.page_table ~page:p) then
+      invalid_arg (Printf.sprintf "Page_table.unmap: page %d not mapped" p)
+  done;
+  for p = page to page + pages - 1 do
+    let entry = Page_table.unmap m.page_table ~page:p in
     Frame_table.decr_ref m.frames entry.frame
-  done
+  done;
+  shootdown_range m ~page ~pages
 
 let dummy_syscall (m : Machine.t) =
   Stats.count_syscall m.stats Stats.Sys_dummy;

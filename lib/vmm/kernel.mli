@@ -32,10 +32,14 @@ val mremap_alias_at : Machine.t -> src:Addr.t -> dst:Addr.t -> pages:int -> unit
 
 val mprotect : Machine.t -> addr:Addr.t -> pages:int -> Perm.t -> unit
 (** Change protection of [pages] pages starting at page-aligned [addr];
-    performs the TLB shootdown.  The paper's per-free call. *)
+    performs {e one} batched TLB shootdown for the whole range (counted
+    in {!Stats} and traced as a single [Tlb_flush] event).  The paper's
+    per-free call.  Fails atomically if any page is unmapped. *)
 
 val munmap : Machine.t -> addr:Addr.t -> pages:int -> unit
-(** Remove mappings; frames are freed when their last mapping goes. *)
+(** Remove mappings; frames are freed when their last mapping goes.
+    Performs one batched TLB shootdown for the range; fails atomically
+    if any page is unmapped. *)
 
 val dummy_syscall : Machine.t -> unit
 (** No-op syscall: costs a kernel round trip and does nothing. *)

@@ -12,108 +12,120 @@ let trace_fault (m : Machine.t) addr access fault =
   Telemetry.Sink.emit m.trace (fun () ->
       Telemetry.Event.Page_fault { addr; access = access_label access; fault })
 
-(* Translate one page, using the TLB, and check permissions against the
-   page table (permission changes must take effect immediately, as an OS
-   performs a TLB shootdown on mprotect). *)
+let unmapped (m : Machine.t) addr access =
+  Stats.count_fault m.stats;
+  trace_fault m addr access "unmapped";
+  raise (Fault.Trap (Fault.Unmapped { addr; access }))
+
+let protection (m : Machine.t) addr access perm =
+  Stats.count_fault m.stats;
+  trace_fault m addr access "protection";
+  raise (Fault.Trap (Fault.Protection { addr; access; perm }))
+
+(* Translate one page, TLB first.  A hit answers from the cached packed
+   entry alone — translation *and* permission bits — and never touches
+   the page table; only a miss walks the radix table and refills.  The
+   kernel keeps the TLB coherent by shooting down every page whose entry
+   it changes (mprotect / munmap / remap), so a cached entry is always
+   the current one. *)
 let translate (m : Machine.t) addr access =
   let page = Addr.page_index addr in
-  match Page_table.lookup m.page_table ~page with
-  | None ->
-    Stats.count_fault m.stats;
-    trace_fault m addr access "unmapped";
-    raise (Fault.Trap (Fault.Unmapped { addr; access }))
-  | Some { frame; perm } ->
-    if not (Perm.allows perm access) then begin
-      Stats.count_fault m.stats;
-      trace_fault m addr access "protection";
-      raise (Fault.Trap (Fault.Protection { addr; access; perm }))
-    end;
-    (match Tlb.lookup m.tlb m.stats ~page with
-     | Some f -> assert (f = frame)
-     | None -> Tlb.insert m.tlb ~page ~frame);
-    Cache.access m.cache m.stats
-      ~phys_addr:((frame * Addr.page_size) + Addr.offset addr);
-    frame
+  let pte =
+    let cached = Tlb.lookup_pte m.tlb m.stats ~page in
+    if Pte.is_present cached then cached
+    else begin
+      let walked = Page_table.pte m.page_table ~page in
+      if not (Pte.is_present walked) then unmapped m addr access;
+      Tlb.insert_pte m.tlb ~page ~pte:walked;
+      walked
+    end
+  in
+  if not (Pte.allows pte access) then protection m addr access (Pte.perm pte);
+  let frame = Pte.frame pte in
+  Cache.access m.cache m.stats
+    ~phys_addr:((frame * Addr.page_size) + Addr.offset addr);
+  frame
 
-let read_bytes m addr width access =
+(* Cross-page accesses translate and move byte by byte, in address
+   order, so the faulting address of a partially out-of-range access is
+   the first byte that faults — exactly as the single-page path reports
+   the access address itself. *)
+let read_bytes_slow m addr width access =
   let rec go i acc =
     if i >= width then acc
     else
       let a = addr + i in
       let frame = translate m a access in
-      let b = Frame_table.read_byte m.Machine.frames frame (Addr.offset a) in
-      go (i + 1) (acc lor (b lsl (8 * i)))
-  in
-  (* Fast path: the whole access sits in one page (the common case). *)
-  if Addr.page_index addr = Addr.page_index (addr + width - 1) then begin
-    let frame = translate m addr access in
-    let off = Addr.offset addr in
-    let rec bytes i acc =
-      if i >= width then acc
-      else
-        let b = Frame_table.read_byte m.Machine.frames frame (off + i) in
-        bytes (i + 1) (acc lor (b lsl (8 * i)))
-    in
-    bytes 0 0
-  end
-  else go 0 0
-
-let write_bytes m addr width v access =
-  let put frame off i =
-    Frame_table.write_byte m.Machine.frames frame off ((v lsr (8 * i)) land 0xff)
-  in
-  if Addr.page_index addr = Addr.page_index (addr + width - 1) then begin
-    let frame = translate m addr access in
-    let off = Addr.offset addr in
-    for i = 0 to width - 1 do
-      put frame (off + i) i
-    done
-  end
-  else
-    for i = 0 to width - 1 do
-      let a = addr + i in
-      let frame = translate m a access in
-      put frame (Addr.offset a) i
-    done
-
-let load m addr ~width =
-  valid_width width;
-  Stats.count_load m.Machine.stats;
-  read_bytes m addr width Perm.Read
-
-let store m addr ~width v =
-  valid_width width;
-  Stats.count_store m.Machine.stats;
-  write_bytes m addr width v Perm.Write
-
-(* Kernel-mode accessors walk the page table directly: no TLB traffic, no
-   permission check, no user-level event counting. *)
-let kernel_frame (m : Machine.t) addr =
-  let page = Addr.page_index addr in
-  match Page_table.lookup m.page_table ~page with
-  | Some { frame; _ } -> frame
-  | None -> raise (Fault.Trap (Fault.Unmapped { addr; access = Perm.Read }))
-
-let load_exempt m addr ~width =
-  valid_width width;
-  let rec go i acc =
-    if i >= width then acc
-    else
-      let a = addr + i in
-      let frame = kernel_frame m a in
       let b = Frame_table.read_byte m.Machine.frames frame (Addr.offset a) in
       go (i + 1) (acc lor (b lsl (8 * i)))
   in
   go 0 0
 
-let store_exempt m addr ~width v =
-  valid_width width;
+let write_bytes_slow m addr width v access =
   for i = 0 to width - 1 do
     let a = addr + i in
-    let frame = kernel_frame m a in
+    let frame = translate m a access in
     Frame_table.write_byte m.Machine.frames frame (Addr.offset a)
       ((v lsr (8 * i)) land 0xff)
   done
+
+let load m addr ~width =
+  valid_width width;
+  Stats.count_load m.Machine.stats;
+  let off = Addr.offset addr in
+  if off + width <= Addr.page_size then
+    (* Fast path (the common case): one translation, one frame lookup,
+       one word-wide read. *)
+    let frame = translate m addr Perm.Read in
+    Frame_table.read_word m.Machine.frames frame off ~width
+  else read_bytes_slow m addr width Perm.Read
+
+let store m addr ~width v =
+  valid_width width;
+  Stats.count_store m.Machine.stats;
+  let off = Addr.offset addr in
+  if off + width <= Addr.page_size then
+    let frame = translate m addr Perm.Write in
+    Frame_table.write_word m.Machine.frames frame off v ~width
+  else write_bytes_slow m addr width v Perm.Write
+
+(* Kernel-mode accessors walk the page table directly: no TLB traffic, no
+   permission check, no user-level event counting. *)
+let kernel_frame (m : Machine.t) addr =
+  let pte = Page_table.pte m.page_table ~page:(Addr.page_index addr) in
+  if Pte.is_present pte then Pte.frame pte
+  else raise (Fault.Trap (Fault.Unmapped { addr; access = Perm.Read }))
+
+let load_exempt m addr ~width =
+  valid_width width;
+  let off = Addr.offset addr in
+  if off + width <= Addr.page_size then
+    let frame = kernel_frame m addr in
+    Frame_table.read_word m.Machine.frames frame off ~width
+  else
+    let rec go i acc =
+      if i >= width then acc
+      else
+        let a = addr + i in
+        let frame = kernel_frame m a in
+        let b = Frame_table.read_byte m.Machine.frames frame (Addr.offset a) in
+        go (i + 1) (acc lor (b lsl (8 * i)))
+    in
+    go 0 0
+
+let store_exempt m addr ~width v =
+  valid_width width;
+  let off = Addr.offset addr in
+  if off + width <= Addr.page_size then
+    let frame = kernel_frame m addr in
+    Frame_table.write_word m.Machine.frames frame off v ~width
+  else
+    for i = 0 to width - 1 do
+      let a = addr + i in
+      let frame = kernel_frame m a in
+      Frame_table.write_byte m.Machine.frames frame (Addr.offset a)
+        ((v lsr (8 * i)) land 0xff)
+    done
 
 let probe (m : Machine.t) addr ~access =
   let page = Addr.page_index addr in

@@ -5,7 +5,14 @@
     software checks on loads and stores, the scheme arranges page
     protections so that the MMU's existing per-access check catches
     dangling uses for free.  A failed check raises {!Fault.Trap}, the
-    simulator's SIGSEGV. *)
+    simulator's SIGSEGV.
+
+    Translation is TLB-first: a hit answers the access from the cached
+    packed entry (frame + protection bits) without consulting the page
+    table, mirroring the hardware economics the paper relies on — checks
+    cost nothing on the hot path.  A within-page access of any width is
+    one TLB probe, one frame lookup and one word-wide memory operation;
+    only page-crossing accesses fall back to byte-at-a-time. *)
 
 val load : Machine.t -> Addr.t -> width:int -> int
 (** [load m a ~width] reads a [width]-byte little-endian integer

@@ -14,6 +14,24 @@ let allows perm access =
   | Read_only, Write -> false
   | Read_write, (Read | Write) -> true
 
+(* Integer encoding used by the packed page-table entries ({!Pte}) and
+   the TLB: ordering matters — [Read] needs code >= 1, [Write] needs 2. *)
+let code = function
+  | No_access -> 0
+  | Read_only -> 1
+  | Read_write -> 2
+
+let of_code = function
+  | 0 -> No_access
+  | 1 -> Read_only
+  | 2 -> Read_write
+  | c -> invalid_arg (Printf.sprintf "Perm.of_code: %d" c)
+
+let code_allows c access =
+  match access with
+  | Read -> c >= 1
+  | Write -> c = 2
+
 let pp ppf = function
   | No_access -> Format.pp_print_string ppf "---"
   | Read_only -> Format.pp_print_string ppf "r--"

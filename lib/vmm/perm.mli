@@ -11,6 +11,18 @@ type access =
   | Write
 
 val allows : t -> access -> bool
+
+val code : t -> int
+(** Integer encoding for packed page-table entries: [No_access] is 0,
+    [Read_only] 1, [Read_write] 2. *)
+
+val of_code : int -> t
+(** Inverse of {!code}; raises [Invalid_argument] outside [0..2]. *)
+
+val code_allows : int -> access -> bool
+(** [code_allows (code p) a = allows p a], without constructing [t] —
+    the MMU fast path's permission check. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_access : Format.formatter -> access -> unit
 val equal : t -> t -> bool

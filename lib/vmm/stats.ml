@@ -12,6 +12,8 @@ type t = {
   mutable tlb_hits : int;
   mutable tlb_misses : int;
   mutable tlb_flushes : int;
+  mutable tlb_shootdowns : int;
+  mutable tlb_shootdown_pages : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable syscalls_mmap : int;
@@ -31,6 +33,8 @@ type snapshot = {
   tlb_hits : int;
   tlb_misses : int;
   tlb_flushes : int;
+  tlb_shootdowns : int;
+  tlb_shootdown_pages : int;
   cache_hits : int;
   cache_misses : int;
   syscalls_mmap : int;
@@ -51,6 +55,8 @@ let create () : t =
     tlb_hits = 0;
     tlb_misses = 0;
     tlb_flushes = 0;
+    tlb_shootdowns = 0;
+    tlb_shootdown_pages = 0;
     cache_hits = 0;
     cache_misses = 0;
     syscalls_mmap = 0;
@@ -69,6 +75,11 @@ let count_store (t : t) = t.stores <- t.stores + 1
 let count_tlb_hit (t : t) = t.tlb_hits <- t.tlb_hits + 1
 let count_tlb_miss (t : t) = t.tlb_misses <- t.tlb_misses + 1
 let count_tlb_flush (t : t) = t.tlb_flushes <- t.tlb_flushes + 1
+
+let count_tlb_shootdown (t : t) ~pages =
+  t.tlb_shootdowns <- t.tlb_shootdowns + 1;
+  t.tlb_shootdown_pages <- t.tlb_shootdown_pages + pages
+
 let count_cache_hit (t : t) = t.cache_hits <- t.cache_hits + 1
 let count_cache_miss (t : t) = t.cache_misses <- t.cache_misses + 1
 
@@ -91,6 +102,8 @@ let snapshot (t : t) : snapshot =
     tlb_hits = t.tlb_hits;
     tlb_misses = t.tlb_misses;
     tlb_flushes = t.tlb_flushes;
+    tlb_shootdowns = t.tlb_shootdowns;
+    tlb_shootdown_pages = t.tlb_shootdown_pages;
     cache_hits = t.cache_hits;
     cache_misses = t.cache_misses;
     syscalls_mmap = t.syscalls_mmap;
@@ -111,6 +124,8 @@ let zero : snapshot =
     tlb_hits = 0;
     tlb_misses = 0;
     tlb_flushes = 0;
+    tlb_shootdowns = 0;
+    tlb_shootdown_pages = 0;
     cache_hits = 0;
     cache_misses = 0;
     syscalls_mmap = 0;
@@ -131,6 +146,8 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     tlb_hits = a.tlb_hits - b.tlb_hits;
     tlb_misses = a.tlb_misses - b.tlb_misses;
     tlb_flushes = a.tlb_flushes - b.tlb_flushes;
+    tlb_shootdowns = a.tlb_shootdowns - b.tlb_shootdowns;
+    tlb_shootdown_pages = a.tlb_shootdown_pages - b.tlb_shootdown_pages;
     cache_hits = a.cache_hits - b.cache_hits;
     cache_misses = a.cache_misses - b.cache_misses;
     syscalls_mmap = a.syscalls_mmap - b.syscalls_mmap;
@@ -153,6 +170,8 @@ let field_values (s : snapshot) =
     ("vmm.tlb_hits", s.tlb_hits);
     ("vmm.tlb_misses", s.tlb_misses);
     ("vmm.tlb_flushes", s.tlb_flushes);
+    ("vmm.tlb_shootdowns", s.tlb_shootdowns);
+    ("vmm.tlb_shootdown_pages", s.tlb_shootdown_pages);
     ("vmm.cache_hits", s.cache_hits);
     ("vmm.cache_misses", s.cache_misses);
     ("vmm.syscalls_mmap", s.syscalls_mmap);
@@ -183,6 +202,8 @@ let of_metrics registry =
     tlb_hits = get "vmm.tlb_hits";
     tlb_misses = get "vmm.tlb_misses";
     tlb_flushes = get "vmm.tlb_flushes";
+    tlb_shootdowns = get "vmm.tlb_shootdowns";
+    tlb_shootdown_pages = get "vmm.tlb_shootdown_pages";
     cache_hits = get "vmm.cache_hits";
     cache_misses = get "vmm.cache_misses";
     syscalls_mmap = get "vmm.syscalls_mmap";
@@ -203,6 +224,8 @@ let sum (a : snapshot) (b : snapshot) : snapshot =
     tlb_hits = a.tlb_hits + b.tlb_hits;
     tlb_misses = a.tlb_misses + b.tlb_misses;
     tlb_flushes = a.tlb_flushes + b.tlb_flushes;
+    tlb_shootdowns = a.tlb_shootdowns + b.tlb_shootdowns;
+    tlb_shootdown_pages = a.tlb_shootdown_pages + b.tlb_shootdown_pages;
     cache_hits = a.cache_hits + b.cache_hits;
     cache_misses = a.cache_misses + b.cache_misses;
     syscalls_mmap = a.syscalls_mmap + b.syscalls_mmap;
@@ -222,10 +245,11 @@ let total_syscalls s =
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>instructions: %d@ loads: %d@ stores: %d@ tlb hits/misses: %d/%d@ \
-     cache hits/misses: %d/%d@ \
+     tlb shootdowns: %d (%d pages)@ cache hits/misses: %d/%d@ \
      syscalls (mmap/mremap/mprotect/munmap/dummy): %d/%d/%d/%d/%d@ faults: \
      %d@ pages mapped: %d@ frames allocated: %d@]"
-    s.instructions s.loads s.stores s.tlb_hits s.tlb_misses s.cache_hits
+    s.instructions s.loads s.stores s.tlb_hits s.tlb_misses s.tlb_shootdowns
+    s.tlb_shootdown_pages s.cache_hits
     s.cache_misses s.syscalls_mmap
     s.syscalls_mremap s.syscalls_mprotect s.syscalls_munmap s.syscalls_dummy
     s.faults s.pages_mapped s.frames_allocated

@@ -21,6 +21,11 @@ type snapshot = {
   tlb_hits : int;
   tlb_misses : int;
   tlb_flushes : int;
+  tlb_shootdowns : int;
+      (** ranged TLB shootdown operations (one per [mprotect]/[munmap]
+          call, however many pages it covers) *)
+  tlb_shootdown_pages : int;
+      (** total pages invalidated by those shootdowns *)
   cache_hits : int;
   cache_misses : int;
   syscalls_mmap : int;
@@ -41,6 +46,11 @@ val count_store : t -> unit
 val count_tlb_hit : t -> unit
 val count_tlb_miss : t -> unit
 val count_tlb_flush : t -> unit
+
+val count_tlb_shootdown : t -> pages:int -> unit
+(** One ranged shootdown covering [pages] pages: increments the
+    operation count by one and the page count by [pages]. *)
+
 val count_cache_hit : t -> unit
 val count_cache_miss : t -> unit
 val count_syscall : t -> syscall_kind -> unit

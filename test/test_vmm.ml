@@ -125,8 +125,9 @@ let test_tlb_hit_miss () =
   let tlb = Tlb.create ~entries:8 ~ways:2 () in
   let stats = Stats.create () in
   check_bool "cold miss" true (Tlb.lookup tlb stats ~page:5 = None);
-  Tlb.insert tlb ~page:5 ~frame:42;
-  check_bool "hit" true (Tlb.lookup tlb stats ~page:5 = Some 42);
+  Tlb.insert tlb ~page:5 ~frame:42 ~perm:Perm.Read_write;
+  check_bool "hit" true
+    (Tlb.lookup tlb stats ~page:5 = Some (42, Perm.Read_write));
   let s = Stats.snapshot stats in
   check_int "one miss" 1 s.Stats.tlb_misses;
   check_int "one hit" 1 s.Stats.tlb_hits
@@ -137,21 +138,22 @@ let test_tlb_eviction () =
   let stats = Stats.create () in
   let n_sets = 4 in
   let p0 = 0 and p1 = n_sets and p2 = 2 * n_sets in
-  Tlb.insert tlb ~page:p0 ~frame:0;
-  Tlb.insert tlb ~page:p1 ~frame:1;
+  Tlb.insert tlb ~page:p0 ~frame:0 ~perm:Perm.Read_write;
+  Tlb.insert tlb ~page:p1 ~frame:1 ~perm:Perm.Read_write;
   ignore (Tlb.lookup tlb stats ~page:p0);
-  Tlb.insert tlb ~page:p2 ~frame:2;
+  Tlb.insert tlb ~page:p2 ~frame:2 ~perm:Perm.Read_write;
   check_bool "LRU evicted" true (Tlb.lookup tlb stats ~page:p1 = None);
-  check_bool "MRU kept" true (Tlb.lookup tlb stats ~page:p0 = Some 0)
+  check_bool "MRU kept" true
+    (Tlb.lookup tlb stats ~page:p0 = Some (0, Perm.Read_write))
 
 let test_tlb_invalidate_and_flush () =
   let tlb = Tlb.create () in
   let stats = Stats.create () in
-  Tlb.insert tlb ~page:3 ~frame:9;
+  Tlb.insert tlb ~page:3 ~frame:9 ~perm:Perm.Read_write;
   Tlb.invalidate_page tlb ~page:3;
   check_bool "invalidated" true (Tlb.lookup tlb stats ~page:3 = None);
-  Tlb.insert tlb ~page:4 ~frame:1;
-  Tlb.insert tlb ~page:5 ~frame:2;
+  Tlb.insert tlb ~page:4 ~frame:1 ~perm:Perm.Read_write;
+  Tlb.insert tlb ~page:5 ~frame:2 ~perm:Perm.Read_write;
   Tlb.flush tlb stats;
   check_bool "flushed 4" true (Tlb.lookup tlb stats ~page:4 = None);
   check_bool "flushed 5" true (Tlb.lookup tlb stats ~page:5 = None);
@@ -160,9 +162,10 @@ let test_tlb_invalidate_and_flush () =
 let test_tlb_same_page_reinsert () =
   let tlb = Tlb.create ~entries:4 ~ways:2 () in
   let stats = Stats.create () in
-  Tlb.insert tlb ~page:2 ~frame:1;
-  Tlb.insert tlb ~page:2 ~frame:7;
-  check_bool "latest translation" true (Tlb.lookup tlb stats ~page:2 = Some 7)
+  Tlb.insert tlb ~page:2 ~frame:1 ~perm:Perm.Read_write;
+  Tlb.insert tlb ~page:2 ~frame:7 ~perm:Perm.Read_only;
+  check_bool "latest translation" true
+    (Tlb.lookup tlb stats ~page:2 = Some (7, Perm.Read_only))
 
 (* ---- Kernel + MMU ---- *)
 

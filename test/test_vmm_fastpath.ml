@@ -1,0 +1,484 @@
+(* The translation fast path: differential testing of the TLB-first MMU
+   against a table-first oracle, TLB-coherence regression tests for
+   remaps, structural proofs that the fast path skips the page table and
+   does exactly one frame lookup, ranged-shootdown semantics, and the
+   packed-entry encoding. *)
+
+open Vmm
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---- Pte encoding ---- *)
+
+let test_pte_roundtrip () =
+  List.iter
+    (fun perm ->
+      List.iter
+        (fun frame ->
+          let pte = Pte.make ~frame ~perm in
+          check_bool "present" true (Pte.is_present pte);
+          check_int "frame" frame (Pte.frame pte);
+          check_bool "perm" true (Perm.equal perm (Pte.perm pte));
+          List.iter
+            (fun access ->
+              check_bool "allows agrees" (Perm.allows perm access)
+                (Pte.allows pte access))
+            [ Perm.Read; Perm.Write ])
+        [ 0; 1; 42; 1_000_000 ])
+    [ Perm.No_access; Perm.Read_only; Perm.Read_write ];
+  check_bool "none absent" false (Pte.is_present Pte.none);
+  let pte = Pte.make ~frame:9 ~perm:Perm.Read_write in
+  let ro = Pte.with_perm pte Perm.Read_only in
+  check_int "with_perm keeps frame" 9 (Pte.frame ro);
+  check_bool "with_perm sets perm" true (Perm.equal Perm.Read_only (Pte.perm ro))
+
+(* ---- TLB coherence under remap (the old [assert (f = frame)] bug):
+   stale entries must be impossible by construction, so a remapped page
+   must be re-read from the new frame even with asserts compiled out. *)
+
+let test_remap_after_munmap_sees_new_frame () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:1 in
+  Mmu.store m a ~width:8 111; (* warms the TLB for this page *)
+  Kernel.munmap m ~addr:a ~pages:1;
+  Kernel.mmap_fixed m ~addr:a ~pages:1;
+  check_int "fresh frame is zeroed, not stale 111" 0 (Mmu.load m a ~width:8);
+  Mmu.store m a ~width:8 222;
+  check_int "writes land in the new frame" 222 (Mmu.load m a ~width:8)
+
+let test_mmap_fixed_over_live_mapping_invalidates () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:2 in
+  Mmu.store m a ~width:8 111;
+  Mmu.store m (a + Addr.page_size) ~width:8 333;
+  (* Replace both pages while their translations are hot in the TLB. *)
+  Kernel.mmap_fixed m ~addr:a ~pages:2;
+  check_int "page 0 re-reads through new mapping" 0 (Mmu.load m a ~width:8);
+  check_int "page 1 re-reads through new mapping" 0
+    (Mmu.load m (a + Addr.page_size) ~width:8)
+
+let test_alias_at_over_warm_page () =
+  let m = Machine.create () in
+  let src = Kernel.mmap m ~pages:1 in
+  Mmu.store m src ~width:8 42;
+  let dst = Kernel.mmap m ~pages:1 in
+  Mmu.store m dst ~width:8 7; (* dst translation now cached *)
+  Kernel.mremap_alias_at m ~src ~dst ~pages:1;
+  check_int "alias reads source frame, not stale dst frame" 42
+    (Mmu.load m dst ~width:8)
+
+let test_mprotect_visible_through_warm_tlb () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:1 in
+  Mmu.store m a ~width:8 5; (* cache RW entry *)
+  Kernel.mprotect m ~addr:a ~pages:1 Perm.Read_only;
+  check_int "read still fine" 5 (Mmu.load m a ~width:8);
+  (match Mmu.store m a ~width:8 6 with
+   | () -> Alcotest.fail "write must trap after mprotect"
+   | exception Fault.Trap (Fault.Protection _) -> ()
+   | exception Fault.Trap _ -> Alcotest.fail "wrong fault");
+  Kernel.mprotect m ~addr:a ~pages:1 Perm.Read_write;
+  Mmu.store m a ~width:8 6;
+  check_int "write after re-enable" 6 (Mmu.load m a ~width:8)
+
+(* ---- Structural: the fast path's instruction budget ---- *)
+
+let test_tlb_hit_skips_page_table () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:1 in
+  ignore (Mmu.load m a ~width:8); (* warm the TLB *)
+  let walks0 = Page_table.walk_count m.Machine.page_table in
+  let frames0 = Frame_table.lookup_count m.Machine.frames in
+  ignore (Mmu.load m a ~width:8);
+  check_int "TLB-hit load: zero page-table walks" walks0
+    (Page_table.walk_count m.Machine.page_table);
+  check_int "8-byte load: exactly one frame lookup" (frames0 + 1)
+    (Frame_table.lookup_count m.Machine.frames);
+  let walks1 = Page_table.walk_count m.Machine.page_table in
+  let frames1 = Frame_table.lookup_count m.Machine.frames in
+  Mmu.store m a ~width:8 7;
+  check_int "TLB-hit store: zero page-table walks" walks1
+    (Page_table.walk_count m.Machine.page_table);
+  check_int "8-byte store: exactly one frame lookup" (frames1 + 1)
+    (Frame_table.lookup_count m.Machine.frames)
+
+let test_tlb_miss_walks_once () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:1 in
+  let walks0 = Page_table.walk_count m.Machine.page_table in
+  ignore (Mmu.load m a ~width:8); (* cold: one walk, one refill *)
+  check_int "TLB-miss load: exactly one walk" (walks0 + 1)
+    (Page_table.walk_count m.Machine.page_table);
+  let s = Stats.snapshot m.Machine.stats in
+  check_int "one miss counted" 1 s.Stats.tlb_misses
+
+let test_word_access_all_widths () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:2 in
+  (* Bit-compatibility of word-wide and byte-wide paths, incl. the top
+     byte of an 8-byte value (63-bit int truncation). *)
+  List.iter
+    (fun (width, v) ->
+      Mmu.store m a ~width v;
+      check_int (Printf.sprintf "width %d roundtrip" width) v
+        (Mmu.load m a ~width);
+      (* The same value must be visible byte-by-byte, little-endian. *)
+      for i = 0 to width - 1 do
+        check_int
+          (Printf.sprintf "width %d byte %d" width i)
+          ((v lsr (8 * i)) land 0xff)
+          (Mmu.load m (a + i) ~width:1)
+      done)
+    [
+      (1, 0xAB); (2, 0xBEEF); (4, 0xDEADBEEF); (8, 0x1234567890ABCDEF);
+      (8, max_int); (8, 0);
+    ];
+  (* Exempt accessors share the word path. *)
+  Mmu.store_exempt m a ~width:8 0x0102030405060708;
+  check_int "exempt roundtrip" 0x0102030405060708 (Mmu.load_exempt m a ~width:8);
+  check_int "exempt visible to user load" 0x0102030405060708
+    (Mmu.load m a ~width:8);
+  (* Cross-page accesses still work, via the byte path. *)
+  let boundary = a + Addr.page_size - 3 in
+  Mmu.store m boundary ~width:8 0x1122334455667788;
+  check_int "cross-page roundtrip" 0x1122334455667788
+    (Mmu.load m boundary ~width:8);
+  Mmu.store_exempt m boundary ~width:8 0x55;
+  check_int "exempt cross-page" 0x55 (Mmu.load_exempt m boundary ~width:8)
+
+(* ---- Batched shootdowns ---- *)
+
+let test_ranged_shootdown_counting () =
+  let m = Machine.create () in
+  let a = Kernel.mmap m ~pages:64 in
+  let s0 = Stats.snapshot m.Machine.stats in
+  Kernel.mprotect m ~addr:a ~pages:64 Perm.No_access;
+  let s1 = Stats.snapshot m.Machine.stats in
+  check_int "one shootdown op for 64-page mprotect" 1
+    (s1.Stats.tlb_shootdowns - s0.Stats.tlb_shootdowns);
+  check_int "64 pages shot down" 64
+    (s1.Stats.tlb_shootdown_pages - s0.Stats.tlb_shootdown_pages);
+  Kernel.munmap m ~addr:a ~pages:64;
+  let s2 = Stats.snapshot m.Machine.stats in
+  check_int "munmap adds one more op" 2 s2.Stats.tlb_shootdowns;
+  check_int "and 64 more pages" 128 s2.Stats.tlb_shootdown_pages;
+  (* Registry shim round-trips the new counters. *)
+  let back = Stats.of_metrics (Stats.to_metrics s2) in
+  check_int "metrics roundtrip ops" s2.Stats.tlb_shootdowns
+    back.Stats.tlb_shootdowns;
+  check_int "metrics roundtrip pages" s2.Stats.tlb_shootdown_pages
+    back.Stats.tlb_shootdown_pages
+
+let test_shootdown_traced_once () =
+  let sink = Telemetry.Sink.create ~capacity:128 () in
+  let m = Machine.create ~trace:sink () in
+  let a = Kernel.mmap m ~pages:32 in
+  Kernel.mprotect m ~addr:a ~pages:32 Perm.No_access;
+  Kernel.munmap m ~addr:a ~pages:32;
+  let flushes =
+    List.filter_map
+      (fun (e : Telemetry.Event.t) ->
+        match e.Telemetry.Event.kind with
+        | Telemetry.Event.Tlb_flush { pages } -> Some pages
+        | _ -> None)
+      (Telemetry.Sink.events sink)
+  in
+  check
+    (Alcotest.list Alcotest.int)
+    "one ranged event per bulk call, with page counts" [ 32; 32 ] flushes
+
+let test_invalidate_range_narrow_and_wide () =
+  let stats = Stats.create () in
+  let narrow = Tlb.create ~entries:64 ~ways:4 () in
+  (* 16 sets: a 4-page range takes the per-page path. *)
+  for p = 100 to 115 do
+    Tlb.insert narrow ~page:p ~frame:p ~perm:Perm.Read_write
+  done;
+  Tlb.invalidate_range narrow ~page:104 ~pages:4;
+  for p = 100 to 115 do
+    let hit = Tlb.lookup narrow stats ~page:p <> None in
+    check_bool (Printf.sprintf "narrow page %d" p) (p < 104 || p >= 108) hit
+  done;
+  (* A range wider than the set count takes the sweep path. *)
+  let wide = Tlb.create ~entries:64 ~ways:4 () in
+  for p = 0 to 63 do
+    Tlb.insert wide ~page:p ~frame:p ~perm:Perm.Read_write
+  done;
+  Tlb.invalidate_range wide ~page:8 ~pages:40;
+  for p = 0 to 63 do
+    let hit = Tlb.lookup wide stats ~page:p <> None in
+    check_bool (Printf.sprintf "wide page %d" p) (p < 8 || p >= 48) hit
+  done
+
+(* ---- Differential suite: random access/mmap/mprotect/munmap sequences
+   through a table-first oracle (the pre-TLB-first semantics: walk the
+   model's page table for every byte, in address order) and the real
+   TLB-first MMU, asserting identical values, faults and mapped-page
+   counts. *)
+
+module Model = struct
+  type page = { mutable perm : Perm.t option; bytes : Bytes.t }
+
+  type t = { base : Addr.t; pages : page array }
+
+  let create base n =
+    {
+      base;
+      pages =
+        Array.init n (fun _ ->
+            { perm = None; bytes = Bytes.make Addr.page_size '\000' });
+    }
+
+  let page_of t addr = (addr - t.base) / Addr.page_size
+  let in_range t addr = addr >= t.base && addr < t.base + (Array.length t.pages * Addr.page_size)
+
+  (* Table-first check of one byte: the oracle's page-table walk. *)
+  let check_byte t addr access =
+    if not (in_range t addr) then Some (Fault.Unmapped { addr; access })
+    else
+      match t.pages.(page_of t addr).perm with
+      | None -> Some (Fault.Unmapped { addr; access })
+      | Some perm ->
+        if Perm.allows perm access then None
+        else Some (Fault.Protection { addr; access; perm })
+
+  (* Old-MMU semantics: a within-page access checks once at the access
+     address; a page-crossing access checks byte by byte in address
+     order and reports the first faulting byte. *)
+  let check_access t addr width access =
+    if Addr.offset addr + width <= Addr.page_size then check_byte t addr access
+    else
+      let rec go i =
+        if i >= width then None
+        else
+          match check_byte t (addr + i) access with
+          | Some f -> Some f
+          | None -> go (i + 1)
+      in
+      go 0
+
+  let read t addr width =
+    let rec go i acc =
+      if i >= width then acc
+      else
+        let a = addr + i in
+        let b = Char.code (Bytes.get t.pages.(page_of t a).bytes (Addr.offset a)) in
+        go (i + 1) (acc lor (b lsl (8 * i)))
+    in
+    go 0 0
+
+  (* Mirror of the MMU's store: bytes before a faulting byte are written
+     (both the old byte loop and the new slow path behave this way). *)
+  let write t addr width v =
+    let fault = check_access t addr width Perm.Write in
+    let stop =
+      match fault with Some f -> Fault.addr f - addr | None -> width
+    in
+    for i = 0 to stop - 1 do
+      let a = addr + i in
+      Bytes.set t.pages.(page_of t a).bytes (Addr.offset a)
+        (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let mapped_count t =
+    Array.fold_left
+      (fun acc p -> if p.perm = None then acc else acc + 1)
+      0 t.pages
+
+  let all_mapped t lo n =
+    let rec go i = i >= n || (t.pages.(lo + i).perm <> None && go (i + 1)) in
+    go 0
+end
+
+let fault_eq a b =
+  match a, b with
+  | Fault.Unmapped { addr = a1; access = x1 }, Fault.Unmapped { addr = a2; access = x2 } ->
+    a1 = a2 && x1 = x2
+  | ( Fault.Protection { addr = a1; access = x1; perm = p1 },
+      Fault.Protection { addr = a2; access = x2; perm = p2 } ) ->
+    a1 = a2 && x1 = x2 && Perm.equal p1 p2
+  | (Fault.Unmapped _ | Fault.Protection _), _ -> false
+
+let pp_outcome = function
+  | Ok v -> Printf.sprintf "Ok %d" v
+  | Error f -> Fault.to_string f
+
+(* One random differential run: [steps] operations over a [n_pages]
+   arena, driven by a deterministic PRNG state. *)
+let differential_run ~seed ~steps ~n_pages =
+  let rng = Random.State.make [| seed |] in
+  let m = Machine.create ~tlb_entries:16 () in
+  let base = Kernel.mmap m ~pages:n_pages in
+  let model = Model.create base n_pages in
+  Array.iter (fun p -> p.Model.perm <- Some Perm.Read_write) model.Model.pages;
+  let rand_range () =
+    let lo = Random.State.int rng n_pages in
+    let n = 1 + Random.State.int rng (n_pages - lo) in
+    (lo, n)
+  in
+  let agree what expected actual =
+    if
+      (match expected, actual with
+       | Ok v1, Ok v2 -> v1 = v2
+       | Error f1, Error f2 -> fault_eq f1 f2
+       | (Ok _ | Error _), _ -> false)
+      = false
+    then
+      Alcotest.failf "seed %d, %s: oracle %s but mmu %s" seed what
+        (pp_outcome expected) (pp_outcome actual)
+  in
+  for _step = 1 to steps do
+    match Random.State.int rng 100 with
+    | r when r < 70 ->
+      (* Access: mostly within the arena, occasionally just outside. *)
+      let width = List.nth [ 1; 2; 4; 8 ] (Random.State.int rng 4) in
+      let addr =
+        base
+        + Random.State.int rng ((n_pages * Addr.page_size) - width + 1)
+        + (if Random.State.int rng 20 = 0 then n_pages * Addr.page_size else 0)
+      in
+      if Random.State.bool rng then begin
+        let expected =
+          match Model.check_access model addr width Perm.Read with
+          | Some f -> Error f
+          | None -> Ok (Model.read model addr width)
+        in
+        let actual =
+          match Mmu.load m addr ~width with
+          | v -> Ok v
+          | exception Fault.Trap f -> Error f
+        in
+        agree (Printf.sprintf "load %d @0x%x" width addr) expected actual
+      end
+      else begin
+        let v = Random.State.full_int rng max_int in
+        let expected =
+          match Model.check_access model addr width Perm.Write with
+          | Some f -> Error f
+          | None -> Ok 0
+        in
+        let actual =
+          match Mmu.store m addr ~width v with
+          | () -> Ok 0
+          | exception Fault.Trap f -> Error f
+        in
+        Model.write model addr width v;
+        agree (Printf.sprintf "store %d @0x%x" width addr) expected actual
+      end
+    | r when r < 82 ->
+      (* mprotect a random subrange; must fail atomically iff any page
+         in it is unmapped. *)
+      let lo, n = rand_range () in
+      let perm =
+        List.nth
+          [ Perm.No_access; Perm.Read_only; Perm.Read_write ]
+          (Random.State.int rng 3)
+      in
+      let addr = base + (lo * Addr.page_size) in
+      let ok = Model.all_mapped model lo n in
+      (match Kernel.mprotect m ~addr ~pages:n perm with
+       | () ->
+         if not ok then
+           Alcotest.failf "seed %d: mprotect should have failed" seed;
+         for i = lo to lo + n - 1 do
+           model.Model.pages.(i).Model.perm <- Some perm
+         done
+       | exception Invalid_argument _ ->
+         if ok then Alcotest.failf "seed %d: mprotect should have succeeded" seed)
+    | r when r < 92 ->
+      (* munmap a random subrange (same atomicity contract). *)
+      let lo, n = rand_range () in
+      let addr = base + (lo * Addr.page_size) in
+      let ok = Model.all_mapped model lo n in
+      (match Kernel.munmap m ~addr ~pages:n with
+       | () ->
+         if not ok then Alcotest.failf "seed %d: munmap should have failed" seed;
+         for i = lo to lo + n - 1 do
+           model.Model.pages.(i).Model.perm <- None
+         done
+       | exception Invalid_argument _ ->
+         if ok then Alcotest.failf "seed %d: munmap should have succeeded" seed)
+    | _ ->
+      (* mmap_fixed: fresh zeroed RW frames, replacing whatever is there. *)
+      let lo, n = rand_range () in
+      Kernel.mmap_fixed m ~addr:(base + (lo * Addr.page_size)) ~pages:n;
+      for i = lo to lo + n - 1 do
+        let p = model.Model.pages.(i) in
+        p.Model.perm <- Some Perm.Read_write;
+        Bytes.fill p.Model.bytes 0 Addr.page_size '\000'
+      done
+  done;
+  (* Mapped-page accounting must agree at the end of every run. *)
+  check_int
+    (Printf.sprintf "seed %d: mapped pages" seed)
+    (Model.mapped_count model)
+    (Page_table.mapped_pages m.Machine.page_table);
+  (* Final sweep: every page's first word agrees (value or fault). *)
+  for i = 0 to n_pages - 1 do
+    let addr = base + (i * Addr.page_size) in
+    let expected =
+      match Model.check_access model addr 8 Perm.Read with
+      | Some f -> Error f
+      | None -> Ok (Model.read model addr 8)
+    in
+    let actual =
+      match Mmu.load m addr ~width:8 with
+      | v -> Ok v
+      | exception Fault.Trap f -> Error f
+    in
+    agree (Printf.sprintf "final sweep page %d" i) expected actual
+  done
+
+let prop_differential =
+  QCheck.Test.make ~name:"mmu: TLB-first = table-first oracle" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      differential_run ~seed ~steps:400 ~n_pages:24;
+      true)
+
+let test_differential_fixed_seeds () =
+  (* A few long deterministic runs, heavier than the property batch. *)
+  List.iter
+    (fun seed -> differential_run ~seed ~steps:3_000 ~n_pages:48)
+    [ 1; 7; 42; 1234 ]
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vmm-fastpath"
+    [
+      ("pte", [ Alcotest.test_case "encoding" `Quick test_pte_roundtrip ]);
+      ( "tlb-coherence",
+        [
+          Alcotest.test_case "remap after munmap" `Quick
+            test_remap_after_munmap_sees_new_frame;
+          Alcotest.test_case "mmap_fixed over live mapping" `Quick
+            test_mmap_fixed_over_live_mapping_invalidates;
+          Alcotest.test_case "alias at warm page" `Quick
+            test_alias_at_over_warm_page;
+          Alcotest.test_case "mprotect through warm TLB" `Quick
+            test_mprotect_visible_through_warm_tlb;
+        ] );
+      ( "fast-path-structure",
+        [
+          Alcotest.test_case "TLB hit skips page table" `Quick
+            test_tlb_hit_skips_page_table;
+          Alcotest.test_case "TLB miss walks once" `Quick
+            test_tlb_miss_walks_once;
+          Alcotest.test_case "word widths" `Quick test_word_access_all_widths;
+        ] );
+      ( "shootdown",
+        [
+          Alcotest.test_case "ranged counting" `Quick
+            test_ranged_shootdown_counting;
+          Alcotest.test_case "one trace event per bulk call" `Quick
+            test_shootdown_traced_once;
+          Alcotest.test_case "invalidate_range narrow/wide" `Quick
+            test_invalidate_range_narrow_and_wide;
+        ] );
+      ( "differential",
+        Alcotest.test_case "fixed seeds" `Slow test_differential_fixed_seeds
+        :: qcheck [ prop_differential ] );
+    ]
