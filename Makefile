@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke check clean
+.PHONY: all build test bench bench-smoke faults-smoke check clean
 
 all: build
 
@@ -20,12 +20,19 @@ bench-smoke:
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/validate_results.exe -- BENCH_results.json
 
+# Quick fault-injection campaign: exits nonzero if any workload crashes
+# undiagnosed or any detection miss cannot be attributed to a recorded
+# degradation window.
+faults-smoke:
+	dune exec bin/danguard.exe -- faults all --scale-divisor 8
+
 # The CI gate: build, the whole test suite, and a scale-divided bench
 # run that still exercises every section and validates BENCH_results.json.
 check:
 	dune build
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) faults-smoke
 
 clean:
 	dune clean

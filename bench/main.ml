@@ -172,6 +172,20 @@ let run_detection () =
   print_endline
     (Harness.Detection_matrix.render (Harness.Detection_matrix.run_spatial ()))
 
+(* ---- 6b: resilience campaign ---- *)
+
+let run_resilience ~scale_divisor () =
+  section "Resilience: syscall fault injection vs. the governed runtime";
+  let rows =
+    timed "resilience" (fun () ->
+        Harness.Resilience.campaign ~scale_divisor ())
+  in
+  print_string (Harness.Resilience.render rows);
+  if not (Harness.Resilience.ok rows) then
+    print_endline
+      "WARNING: resilience invariants violated (see rows above)";
+  rows
+
 (* ---- 7: ablations ---- *)
 
 (* 7a. Shadow-VA reuse (our extension of the paper's free list to shadow
@@ -415,7 +429,8 @@ let run_bechamel () =
 
 (* ---- JSON results file ---- *)
 
-let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath =
+let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
+    ~resilience =
   let doc =
     J.Obj
       [
@@ -431,6 +446,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath 
                  J.Obj [ ("name", J.String name); ("ns_per_run", J.Float ns) ])
                bechamel) );
         ("fastpath", fastpath);
+        ("resilience", resilience);
       ]
   in
   Out_channel.with_open_text out (fun oc ->
@@ -473,6 +489,7 @@ let () =
   run_latency ();
   run_exhaustion ();
   run_detection ();
+  let resilience = run_resilience ~scale_divisor () in
   run_ablations ();
   let fastpath = Fastpath.run ~smoke:!smoke () in
   let bechamel =
@@ -489,5 +506,6 @@ let () =
         ("table2", Harness.Table2.to_json t2);
         ("table3", Harness.Table3.to_json t3);
       ]
-    ~costs ~bechamel ~fastpath;
+    ~costs ~bechamel ~fastpath
+    ~resilience:(Harness.Resilience.to_json resilience);
   print_endline "\nAll sections complete."

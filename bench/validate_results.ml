@@ -63,4 +63,45 @@ let () =
     fail "8-byte load did not do exactly one frame lookup";
   if structural_int "frame_lookups_per_store8" <> 1 then
     fail "8-byte store did not do exactly one frame lookup";
-  Printf.printf "validate: %s OK (%d fastpath rows)\n" file (List.length rows)
+  (* Resilience campaign: every row must have completed without an
+     undiagnosed crash, and every detection miss must be attributed to a
+     recorded degradation window. *)
+  let resilience = member "" doc "resilience" in
+  let res_rows =
+    non_empty_list "resilience.rows" (member "resilience" resilience "rows")
+  in
+  List.iter
+    (fun row ->
+      let str k =
+        match member "resilience.rows[]" row k with
+        | J.String s -> s
+        | _ -> fail "resilience.rows[].%s is not a string" k
+      in
+      let where = str "plan" ^ "/" ^ str "scheme" ^ "/" ^ str "workload" in
+      (match member "resilience.rows[]" row "completed" with
+      | J.Bool true -> ()
+      | _ -> fail "resilience row %s did not complete" where);
+      (match member "resilience.rows[]" row "crash" with
+      | J.Null -> ()
+      | J.String c -> fail "resilience row %s crashed: %s" where c
+      | _ -> fail "resilience.rows[].crash has the wrong type");
+      match member "resilience.rows[]" row "probes_missed_unattributed" with
+      | J.Int 0 -> ()
+      | J.Int n -> fail "resilience row %s: %d unattributed misses" where n
+      | _ -> fail "resilience.rows[].probes_missed_unattributed not an int")
+    res_rows;
+  let summary = member "resilience" resilience "summary" in
+  let summary_int k =
+    match member "resilience.summary" summary k with
+    | J.Int n -> n
+    | _ -> fail "resilience.summary.%s is not an int" k
+  in
+  if summary_int "undiagnosed_crashes" <> 0 then
+    fail "resilience campaign had undiagnosed crashes";
+  if summary_int "unattributed_misses" <> 0 then
+    fail "resilience campaign had unattributed detection misses";
+  (match member "resilience.summary" summary "ok" with
+  | J.Bool true -> ()
+  | _ -> fail "resilience.summary.ok is not true");
+  Printf.printf "validate: %s OK (%d fastpath rows, %d resilience rows)\n" file
+    (List.length rows) (List.length res_rows)

@@ -4,6 +4,7 @@
      table <1|2|3>   regenerate a paper table
      addr-space      the §4.3 per-connection address-space study
      detect          the detection-guarantee matrix
+     faults          the syscall fault-injection / degradation campaign
      exhaustion      the §3.4 analytic model
      run             run one workload under one scheme and print stats
      compile         run the MiniC pipeline on a source file
@@ -116,8 +117,9 @@ let detect_cmd =
             (Harness.Experiment.config_label c.Harness.Detection_matrix.config)
             c.Harness.Detection_matrix.scenario
             (Shadow.Report.to_string r)
-        | Workload.Fault_injection.Silent _ | Workload.Fault_injection.Crashed _
-          ->
+        | Workload.Fault_injection.Silent _
+        | Workload.Fault_injection.Crashed _
+        | Workload.Fault_injection.Crashed_degraded _ ->
           ())
       cells
   in
@@ -125,6 +127,51 @@ let detect_cmd =
     (Cmd.info "detect"
        ~doc:"Run every injected temporal-error scenario under every scheme.")
     Term.(const run $ const ())
+
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let target =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Olden workload name, or $(b,all) for the whole campaign.")
+  in
+  let seed =
+    Arg.(value & opt int 0x5eed
+         & info [ "seed" ] ~docv:"S" ~doc:"Fault-plan PRNG seed.")
+  in
+  let run target divisor seed json =
+    let workloads =
+      if target = "all" then Some Workload.Catalog.olden
+      else
+        match Workload.Catalog.find_batch target with
+        | Some b -> Some [ b ]
+        | None -> None
+    in
+    match workloads with
+    | None -> `Error (false, "unknown workload " ^ target)
+    | Some workloads ->
+      let rows =
+        Harness.Resilience.campaign ~scale_divisor:divisor ~seed ~workloads ()
+      in
+      if json then
+        print_endline (J.to_string (Harness.Resilience.to_json rows))
+      else print_string (Harness.Resilience.render rows);
+      if Harness.Resilience.ok rows then `Ok ()
+      else
+        `Error
+          ( false,
+            "resilience invariants violated (undiagnosed crash or \
+             unattributed detection miss)" )
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Syscall fault-injection campaign against the governed \
+             shadow-page runtime: sweeps deterministic fault plans over the \
+             Olden workloads and checks that no failure is undiagnosed and \
+             every detection miss is attributable to a recorded degradation \
+             window.")
+    Term.(ret (const run $ target $ scale_divisor_arg $ seed $ json_arg))
 
 (* ---- exhaustion ---- *)
 
@@ -510,8 +557,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "danguard" ~version:"1.0.0" ~doc)
     [
-      table_cmd; addr_space_cmd; detect_cmd; exhaustion_cmd; run_cmd; list_cmd;
-      compile_cmd; trace_cmd; demo_cmd;
+      table_cmd; addr_space_cmd; detect_cmd; faults_cmd; exhaustion_cmd;
+      run_cmd; list_cmd; compile_cmd; trace_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -52,6 +52,7 @@ let short_outcome = function
   | Workload.Fault_injection.Detected _ -> "detected"
   | Workload.Fault_injection.Silent _ -> "MISSED"
   | Workload.Fault_injection.Crashed _ -> "crash"
+  | Workload.Fault_injection.Crashed_degraded _ -> "crash*"
 
 let render cells =
   let scenarios =
@@ -95,7 +96,8 @@ let guaranteed_configs cells =
           match c.outcome with
           | Workload.Fault_injection.Detected _ -> true
           | Workload.Fault_injection.Silent _
-          | Workload.Fault_injection.Crashed _ ->
+          | Workload.Fault_injection.Crashed _
+          | Workload.Fault_injection.Crashed_degraded _ ->
             false)
         cells)
     configs

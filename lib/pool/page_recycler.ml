@@ -12,7 +12,10 @@ type t = {
 let create () = { ranges = []; available = 0; recycled = 0; reused = 0 }
 
 let put t ~base ~pages =
-  assert (Addr.is_page_aligned base && pages > 0);
+  if not (Addr.is_page_aligned base) || pages <= 0 then
+    invalid_arg
+      (Printf.sprintf "Page_recycler.put: bad range 0x%x + %d pages \
+                       (ranges are page-aligned and non-empty)" base pages);
   t.ranges <- { base; pages } :: t.ranges;
   t.available <- t.available + pages;
   t.recycled <- t.recycled + pages

@@ -1,0 +1,205 @@
+open Vmm
+
+type t = {
+  scheme : Scheme.t;
+  governor : Governor.t;
+  registry : Shadow.Object_registry.t;
+  unprotected_allocs : int ref;
+  (* Every address that ever lived without page protection — raw
+     (sampled-out / fallback) allocations by their block address,
+     unprotected frees by the object's user address.  Never cleared:
+     this is the attribution record for detection misses. *)
+  ever_unprotected : (Addr.t, unit) Hashtbl.t;
+}
+
+let scheme t = t.scheme
+let governor t = t.governor
+let registry t = t.registry
+let unprotected_allocs t = !(t.unprotected_allocs)
+let unprotected_frees t = Governor.unprotected_free_count t.governor
+
+let was_unprotected t addr =
+  Hashtbl.mem t.ever_unprotected addr
+  ||
+  match Shadow.Object_registry.find_by_addr t.registry addr with
+  | Some obj ->
+    Hashtbl.mem t.ever_unprotected obj.Shadow.Object_registry.user_addr
+  | None -> false
+
+let trace_malloc machine site size addr =
+  if Telemetry.Sink.enabled machine.Machine.trace then
+    Telemetry.Sink.emit machine.Machine.trace (fun () ->
+        Telemetry.Event.Malloc { site; size; addr })
+
+let trace_free machine site addr =
+  if Telemetry.Sink.enabled machine.Machine.trace then
+    Telemetry.Sink.emit machine.Machine.trace (fun () ->
+        Telemetry.Event.Free { site; addr })
+
+let trace_violation machine (r : Shadow.Report.t) =
+  Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
+      Telemetry.Event.Violation
+        {
+          kind = Shadow.Report.kind_label r.Shadow.Report.kind;
+          addr = r.Shadow.Report.fault_addr;
+        })
+
+let guarded_load machine registry addr ~width =
+  try
+    Shadow.Detector.guard registry ~in_free:false (fun () ->
+        Mmu.load machine addr ~width)
+  with Shadow.Report.Violation r as exn ->
+    trace_violation machine r;
+    raise exn
+
+let guarded_store machine registry addr ~width v =
+  try
+    Shadow.Detector.guard registry ~in_free:false (fun () ->
+        Mmu.store machine addr ~width v)
+  with Shadow.Report.Violation r as exn ->
+    trace_violation machine r;
+    raise exn
+
+(* Shared alloc/free decision logic, parameterised over one backing
+   pool/heap's four primitive operations.  [raw_live] tracks the blocks
+   this particular backing currently holds without a registry record, so
+   their frees can be routed back to the raw deallocator. *)
+let governed_ops ~machine ~retry ~governor ~ever_unprotected
+    ~unprotected_allocs ~try_alloc ~try_free_protected ~free_unprotected
+    ~alloc_raw ~dealloc_raw =
+  let raw_live : (Addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let take_raw site size =
+    let a = alloc_raw size in
+    Hashtbl.replace raw_live a ();
+    Hashtbl.replace ever_unprotected a ();
+    incr unprotected_allocs;
+    trace_malloc machine site size a;
+    a
+  in
+  let alloc ?(site = "<unknown>") size =
+    Governor.on_alloc governor;
+    if Governor.should_protect governor then
+      match
+        Retry.attempt ?policy:retry machine (fun () -> try_alloc ~site size)
+      with
+      | Ok a ->
+        Governor.record_success governor;
+        a
+      | Error e ->
+        Governor.record_failure governor
+          ~reason:("malloc:" ^ Fault_plan.error_label e);
+        take_raw site size
+    else take_raw site size
+  in
+  let free ?(site = "<unknown>") a =
+    if Hashtbl.mem raw_live a then begin
+      Hashtbl.remove raw_live a;
+      dealloc_raw a;
+      trace_free machine site a
+    end
+    else
+      match
+        Retry.attempt ?policy:retry machine (fun () ->
+            try_free_protected ~site a)
+      with
+      | Ok () -> Governor.record_success governor
+      | Error e ->
+        Governor.record_failure governor
+          ~reason:("free:" ^ Fault_plan.error_label e);
+        let obj = free_unprotected ~site a in
+        Governor.record_unprotected_free governor;
+        Hashtbl.replace ever_unprotected obj.Shadow.Object_registry.user_addr
+          ()
+  in
+  (alloc, free)
+
+let shadow_basic ?retry ?config machine =
+  let registry = Shadow.Object_registry.create () in
+  let governor = Governor.create ?config machine in
+  let ever_unprotected = Hashtbl.create 64 in
+  let unprotected_allocs = ref 0 in
+  let malloc_heap = Heap.Freelist_malloc.create machine in
+  let heap =
+    Shadow.Shadow_heap.create ~registry
+      ~allocator:(Heap.Freelist_malloc.as_allocator malloc_heap)
+      machine
+  in
+  let alloc, free =
+    governed_ops ~machine ~retry ~governor ~ever_unprotected
+      ~unprotected_allocs
+      ~try_alloc:(fun ~site size -> Shadow.Shadow_heap.try_malloc heap ~site size)
+      ~try_free_protected:(fun ~site a -> Shadow.Shadow_heap.try_free heap ~site a)
+      ~free_unprotected:(fun ~site a ->
+        Shadow.Shadow_heap.free_unprotected heap ~site a)
+      ~alloc_raw:(fun size -> Heap.Freelist_malloc.alloc malloc_heap size)
+      ~dealloc_raw:(fun a -> Heap.Freelist_malloc.dealloc malloc_heap a)
+  in
+  let rec scheme =
+    lazy
+      {
+        Scheme.name = "governed-shadow-basic";
+        machine;
+        malloc = (fun ?site size -> alloc ?site size);
+        free = (fun ?site a -> free ?site a);
+        load = guarded_load machine registry;
+        store = guarded_store machine registry;
+        pool_create =
+          (fun ?elem_size:_ () -> Scheme.direct_pool (Lazy.force scheme));
+        compute = (fun n -> Stats.count_instructions machine.Machine.stats n);
+        extra_memory_bytes = (fun () -> 0);
+        guarantees_detection = true;
+      }
+  in
+  {
+    scheme = Lazy.force scheme;
+    governor;
+    registry;
+    unprotected_allocs;
+    ever_unprotected;
+  }
+
+let shadow_pool ?retry ?config ?(reuse_shadow_va = true) machine =
+  let registry = Shadow.Object_registry.create () in
+  let recycler = Apa.Page_recycler.create () in
+  let governor = Governor.create ?config machine in
+  let ever_unprotected = Hashtbl.create 64 in
+  let unprotected_allocs = ref 0 in
+  let make_pool ?elem_size () =
+    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler ~registry
+      machine
+  in
+  let wrap_pool pool =
+    let alloc, free =
+      governed_ops ~machine ~retry ~governor ~ever_unprotected
+        ~unprotected_allocs
+        ~try_alloc:(fun ~site size ->
+          Shadow.Shadow_pool.try_alloc pool ~site size)
+        ~try_free_protected:(fun ~site a ->
+          Shadow.Shadow_pool.try_free pool ~site a)
+        ~free_unprotected:(fun ~site a ->
+          Shadow.Shadow_pool.free_unprotected pool ~site a)
+        ~alloc_raw:(fun size -> Shadow.Shadow_pool.alloc_raw pool size)
+        ~dealloc_raw:(fun a -> Shadow.Shadow_pool.dealloc_raw pool a)
+    in
+    {
+      Scheme.pool_alloc = alloc;
+      pool_free = free;
+      pool_destroy = (fun () -> Shadow.Shadow_pool.destroy pool);
+    }
+  in
+  let global_handle = wrap_pool (make_pool ()) in
+  let scheme =
+    {
+      Scheme.name = "governed-shadow-pool";
+      machine;
+      malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+      free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+      load = guarded_load machine registry;
+      store = guarded_store machine registry;
+      pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+      compute = (fun n -> Stats.count_instructions machine.Machine.stats n);
+      extra_memory_bytes = (fun () -> 0);
+      guarantees_detection = false;
+    }
+  in
+  { scheme; governor; registry; unprotected_allocs; ever_unprotected }

@@ -1,0 +1,96 @@
+(** Graceful-degradation governor for the shadow-page runtime.
+
+    The detection guarantee depends on three syscalls per object
+    lifetime ([mremap] at malloc, [mprotect] at free, [munmap]/recycle
+    at pooldestroy).  When the kernel starts refusing them, a server
+    that treats every failure as fatal turns a transient resource blip
+    into an outage.  The governor instead steps the scheme down a
+    ladder:
+
+    {v Full  -->  Sampled (1-in-N, GWP-ASan-style)  -->  Passthrough v}
+
+    and back up when the syscalls recover.  Every transition is
+    recorded (cycle clock + allocation sequence number) and emitted as
+    a telemetry [Mode_change], so any detection miss can be attributed
+    to a specific degradation window — the scheme never {e silently}
+    loses its guarantee.
+
+    Down-shifts trigger on failure density: at least
+    [failure_threshold] failures among the last [window] protected
+    operations.  Up-shifts need [recover_after] consecutive successes
+    {e and} [cooldown] allocations since the last transition (so a
+    bursty fault pattern cannot make the ladder oscillate).
+    Passthrough performs no protected syscalls at all, so it recovers
+    via an explicit probe every [probe_every] allocations; each failed
+    probe (one that slides straight back to Passthrough) doubles the
+    next probe interval, so a persistent fault storm cannot make the
+    ladder flap at a fixed frequency.  Crossing
+    [va_soft_budget] bytes of mapped address space permanently clamps
+    the ladder below [Full] — address space never shrinks, so
+    unconditional shadowing must not resume. *)
+
+type mode =
+  | Full  (** every object shadowed and protected *)
+  | Sampled of int  (** 1 in [n] objects shadowed *)
+  | Passthrough  (** no shadowing at all *)
+
+val mode_label : mode -> string
+
+type config = {
+  sample_period : int;  (** [N] of [Sampled]'s 1-in-N *)
+  failure_threshold : int;  (** failures in the window that trip a shift *)
+  window : int;  (** sliding window length, in protected ops *)
+  recover_after : int;  (** consecutive successes to step back up *)
+  probe_every : int;  (** allocs between Passthrough recovery probes *)
+  cooldown : int;  (** min allocs between transitions (up-shifts) *)
+  va_soft_budget : int;  (** mapped-bytes ceiling for [Full] mode *)
+}
+
+val default_config : config
+
+type transition = {
+  at_cycles : float;
+  alloc_seq : int;
+  from_mode : mode;
+  to_mode : mode;
+  reason : string;
+}
+
+type t
+
+val create : ?config:config -> Vmm.Machine.t -> t
+(** Starts in [Full].  Raises [Invalid_argument] on a config that could
+    never trip or never recover. *)
+
+val mode : t -> mode
+val alloc_seq : t -> int
+
+val on_alloc : t -> unit
+(** Advance the allocation clock: checks the VA budget and, in
+    [Passthrough], the recovery probe. Call once per allocation before
+    {!should_protect}. *)
+
+val should_protect : t -> bool
+(** Whether the current allocation should get a shadow alias. *)
+
+val record_success : t -> unit
+(** A protected operation's syscalls all succeeded. *)
+
+val record_failure : t -> reason:string -> unit
+(** A protected operation failed (after retries); may step the ladder
+    down. *)
+
+val record_unprotected_free : t -> unit
+(** A free had to skip page protection (kept for attribution). *)
+
+val transitions : t -> transition list
+(** All mode changes, oldest first. *)
+
+val degraded_windows : t -> (int * int option) list
+(** Allocation-sequence intervals during which the mode was not [Full];
+    [None] end = still degraded. *)
+
+val was_degraded_at : t -> alloc_seq:int -> bool
+
+val unprotected_free_count : t -> int
+val failure_count : t -> int

@@ -1,0 +1,47 @@
+open Vmm
+
+type policy = {
+  max_attempts : int;
+  backoff_instructions : int;
+  backoff_multiplier : int;
+  max_backoff_instructions : int;
+}
+
+let default =
+  {
+    max_attempts = 4;
+    backoff_instructions = 200;
+    backoff_multiplier = 4;
+    max_backoff_instructions = 20_000;
+  }
+
+let check policy =
+  if policy.max_attempts < 1 then
+    invalid_arg "Retry: max_attempts < 1 (at least the initial attempt runs)";
+  if policy.backoff_instructions < 0 || policy.max_backoff_instructions < 0
+  then invalid_arg "Retry: negative backoff";
+  if policy.backoff_multiplier < 1 then
+    invalid_arg "Retry: backoff_multiplier < 1 (backoff must not shrink)"
+
+let attempt ?(policy = default) machine f =
+  check policy;
+  let stats = machine.Machine.stats in
+  let rec go attempt_no backoff =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error (Fault_plan.Fatal _) as e -> e
+    | Error (Fault_plan.Transient _) as e ->
+      if attempt_no >= policy.max_attempts then e
+      else begin
+        (* The wait is simulated by charging instructions: the retried
+           program really pays for its spinning. *)
+        Stats.count_instructions stats backoff;
+        Stats.count_syscall_retry stats;
+        let next =
+          min policy.max_backoff_instructions
+            (backoff * policy.backoff_multiplier)
+        in
+        go (attempt_no + 1) next
+      end
+  in
+  go 1 policy.backoff_instructions

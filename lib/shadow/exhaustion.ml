@@ -1,4 +1,12 @@
+let check ~va_bytes ~page_bytes ~pages_per_second =
+  if not (va_bytes >= 0.) (* also rejects nan *) then
+    invalid_arg "Exhaustion: va_bytes < 0";
+  if page_bytes <= 0 then invalid_arg "Exhaustion: page_bytes <= 0";
+  if not (pages_per_second > 0.) (* also rejects nan *) then
+    invalid_arg "Exhaustion: pages_per_second <= 0"
+
 let seconds_until_exhaustion ~va_bytes ~page_bytes ~pages_per_second =
+  check ~va_bytes ~page_bytes ~pages_per_second;
   va_bytes /. (float_of_int page_bytes *. pages_per_second)
 
 let hours_until_exhaustion ~va_bytes ~page_bytes ~pages_per_second =

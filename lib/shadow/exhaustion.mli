@@ -6,7 +6,13 @@
 val seconds_until_exhaustion :
   va_bytes:float -> page_bytes:int -> pages_per_second:float -> float
 (** Time until [va_bytes] of address space are consumed at
-    [pages_per_second] fresh pages of [page_bytes] each. *)
+    [pages_per_second] fresh pages of [page_bytes] each.
+
+    Raises [Invalid_argument] rather than returning a nonsense duration
+    when [va_bytes < 0.], [page_bytes <= 0], or
+    [pages_per_second <= 0.] (a non-allocating program never exhausts
+    anything; [infinity] here used to silently poison downstream
+    budget arithmetic).  NaN inputs are likewise rejected. *)
 
 val hours_until_exhaustion :
   va_bytes:float -> page_bytes:int -> pages_per_second:float -> float

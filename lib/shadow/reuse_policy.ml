@@ -15,6 +15,11 @@ let create strategy pool = { strategy; pool; reclaimed = 0; gc_runs = 0 }
 let reclaim t = t.reclaimed <- t.reclaimed + Shadow_pool.reclaim_freed_shadow t.pool
 
 let after_free t =
+  (* A reclamation hook can legitimately fire after its pool is gone
+     (e.g. a free on a sibling pool races a pooldestroy); there is
+     nothing left to reclaim, so this is a no-op rather than an error. *)
+  if Shadow_pool.is_destroyed t.pool then ()
+  else
   match t.strategy with
   | Manual -> ()
   | Interval_reuse { trigger_pages } ->

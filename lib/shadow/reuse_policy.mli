@@ -25,7 +25,8 @@ val create : strategy -> Shadow_pool.t -> t
 
 val after_free : t -> unit
 (** Call after each [poolfree] on the managed pool; runs the strategy's
-    trigger check and possibly a reclamation. *)
+    trigger check and possibly a reclamation.  A no-op once the managed
+    pool has been destroyed (the hook may race a [pooldestroy]). *)
 
 val reclaimed_pages : t -> int
 (** Cumulative shadow pages released by this policy. *)

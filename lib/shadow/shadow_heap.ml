@@ -7,11 +7,14 @@ type t = {
   allocator : Heap.Allocator_intf.t;
   registry : Object_registry.t;
   shadow_placer : int -> Addr.t option;
+  shadow_unplace : base:Addr.t -> pages:int -> unit;
   on_shadow_range : base:Addr.t -> pages:int -> unit;
   mutable shadow_pages_created : int;
+  mutable unprotected_frees : int;
 }
 
 let create ?(shadow_placer = fun _ -> None)
+    ?(shadow_unplace = fun ~base:_ ~pages:_ -> ())
     ?(on_shadow_range = fun ~base:_ ~pages:_ -> ()) ~registry ~allocator
     machine =
   {
@@ -19,71 +22,134 @@ let create ?(shadow_placer = fun _ -> None)
     allocator;
     registry;
     shadow_placer;
+    shadow_unplace;
     on_shadow_range;
     shadow_pages_created = 0;
+    unprotected_frees = 0;
   }
 
-let malloc t ?(site = "<unknown>") size =
+let trace_malloc t site size addr =
+  if Telemetry.Sink.enabled t.machine.Machine.trace then
+    Telemetry.Sink.emit t.machine.Machine.trace (fun () ->
+        Telemetry.Event.Malloc { site; size; addr })
+
+let trace_free t site addr =
+  if Telemetry.Sink.enabled t.machine.Machine.trace then
+    Telemetry.Sink.emit t.machine.Machine.trace (fun () ->
+        Telemetry.Event.Free { site; addr })
+
+(* One whole-allocation attempt: canonical block, then the shadow alias
+   through the injectable syscall boundary.  On failure everything is
+   undone (block back to the allocator, recycled VA back to its donor),
+   so a retry loop can simply call again — and a caller with no retry
+   path inherits an unchanged heap. *)
+let try_malloc t ?(site = "<unknown>") size =
   if size <= 0 then invalid_arg "Shadow_heap.malloc: size <= 0";
   let total = size + header_bytes in
   let canonical = t.allocator.alloc total in
   let pages = Addr.pages_spanning canonical total in
   let src = Addr.page_base canonical in
-  let shadow_base =
+  let placed =
     match t.shadow_placer pages with
     | Some dst ->
-      Kernel.mremap_alias_at t.machine ~src ~dst ~pages;
-      dst
-    | None -> Kernel.mremap_alias t.machine ~src ~pages
+      (match Syscalls.mremap_alias_at t.machine ~src ~dst ~pages with
+       | Ok () -> Ok dst
+       | Error e ->
+         t.shadow_unplace ~base:dst ~pages;
+         Error e)
+    | None -> Syscalls.mremap_alias t.machine ~src ~pages
   in
-  t.shadow_pages_created <- t.shadow_pages_created + pages;
-  t.on_shadow_range ~base:shadow_base ~pages;
-  let user = shadow_base + Addr.offset canonical + header_bytes in
-  (* Record the canonical address in the extra word, through the shadow
-     mapping — the store lands on the shared physical page. *)
-  Mmu.store t.machine (user - header_bytes) ~width:8 canonical;
-  ignore
-    (Object_registry.register t.registry ~canonical ~shadow_base ~pages
-       ~user_addr:user ~size ~alloc_site:site);
-  if Telemetry.Sink.enabled t.machine.Machine.trace then
-    Telemetry.Sink.emit t.machine.Machine.trace (fun () ->
-        Telemetry.Event.Malloc { site; size; addr = user });
-  user
+  match placed with
+  | Error e ->
+    t.allocator.dealloc canonical;
+    Error e
+  | Ok shadow_base ->
+    t.shadow_pages_created <- t.shadow_pages_created + pages;
+    t.on_shadow_range ~base:shadow_base ~pages;
+    let user = shadow_base + Addr.offset canonical + header_bytes in
+    (* Record the canonical address in the extra word, through the shadow
+       mapping — the store lands on the shared physical page. *)
+    Mmu.store t.machine (user - header_bytes) ~width:8 canonical;
+    ignore
+      (Object_registry.register t.registry ~canonical ~shadow_base ~pages
+         ~user_addr:user ~size ~alloc_site:site);
+    trace_malloc t site size user;
+    Ok user
+
+let malloc t ?site size =
+  Syscalls.ok_or_raise ~name:"Shadow_heap.malloc" (try_malloc t ?site size)
 
 let violation kind fault_addr info =
   raise (Report.Violation { Report.kind; fault_addr; object_info = info })
 
-let free t ?(site = "<unknown>") user =
-  try
-    (* Reading the bookkeeping word is itself the double-free check: a
-       freed object's shadow page is PROT_NONE, so this load traps. *)
-    let canonical =
-      Detector.guard t.registry ~in_free:true (fun () ->
-          Mmu.load t.machine (user - header_bytes) ~width:8)
-    in
-    match Object_registry.find_by_addr t.registry user with
-    | Some obj when obj.Object_registry.user_addr = user ->
-      assert (obj.Object_registry.canonical = canonical);
-      Kernel.mprotect t.machine ~addr:obj.Object_registry.shadow_base
-        ~pages:obj.Object_registry.pages Perm.No_access;
-      Object_registry.mark_freed t.registry obj ~free_site:site;
-      t.allocator.dealloc canonical;
-      if Telemetry.Sink.enabled t.machine.Machine.trace then
-        Telemetry.Sink.emit t.machine.Machine.trace (fun () ->
-            Telemetry.Event.Free { site; addr = user })
-    | Some obj ->
-      (* Interior pointer passed to free. *)
-      violation Report.Invalid_free user (Some (Detector.object_info obj))
-    | None -> violation Report.Invalid_free user None
+let trace_violation t (r : Report.t) =
+  Telemetry.Sink.emit_always t.machine.Machine.trace (fun () ->
+      Telemetry.Event.Violation
+        { kind = Report.kind_label r.Report.kind; addr = r.Report.fault_addr })
+
+(* Locate the object a free argument refers to.  Reading the bookkeeping
+   word is itself the double-free check: a freed object's shadow page is
+   PROT_NONE, so this load traps.  The registry-state check underneath
+   it is the software backstop for objects whose free was performed
+   {e unprotected} (degraded mode): their pages never got protected, so
+   only the registry remembers they are dead. *)
+let find_free_target t user =
+  let canonical =
+    Detector.guard t.registry ~in_free:true (fun () ->
+        Mmu.load t.machine (user - header_bytes) ~width:8)
+  in
+  match Object_registry.find_by_addr t.registry user with
+  | Some obj when obj.Object_registry.state <> Object_registry.Live ->
+    violation Report.Double_free user (Some (Detector.object_info obj))
+  | Some obj when obj.Object_registry.user_addr = user ->
+    if obj.Object_registry.canonical <> canonical then
+      failwith
+        "Shadow_heap.free: bookkeeping word disagrees with the registry \
+         (invariant: the canonical address stored through the shadow \
+         mapping at malloc time matches the registry record)";
+    obj
+  | Some obj ->
+    (* Interior pointer passed to free. *)
+    violation Report.Invalid_free user (Some (Detector.object_info obj))
+  | None -> violation Report.Invalid_free user None
+
+let complete_free t (obj : Object_registry.obj) ~site user =
+  Object_registry.mark_freed t.registry obj ~free_site:site;
+  t.allocator.dealloc obj.Object_registry.canonical;
+  trace_free t site user
+
+let with_violation_trace t thunk =
+  try thunk ()
   with Report.Violation r as exn ->
-    Telemetry.Sink.emit_always t.machine.Machine.trace (fun () ->
-        Telemetry.Event.Violation
-          { kind = Report.kind_label r.Report.kind; addr = r.Report.fault_addr });
+    trace_violation t r;
     raise exn
+
+let try_free t ?(site = "<unknown>") user =
+  with_violation_trace t (fun () ->
+      let obj = find_free_target t user in
+      match
+        Syscalls.mprotect t.machine ~addr:obj.Object_registry.shadow_base
+          ~pages:obj.Object_registry.pages Perm.No_access
+      with
+      | Error e -> Error e (* the object stays live; caller may retry *)
+      | Ok () ->
+        complete_free t obj ~site user;
+        Ok ())
+
+let free t ?site user =
+  Syscalls.ok_or_raise ~name:"Shadow_heap.free" (try_free t ?site user)
+
+let free_unprotected t ?(site = "<unknown>") user =
+  with_violation_trace t (fun () ->
+      let obj = find_free_target t user in
+      complete_free t obj ~site user;
+      t.unprotected_frees <- t.unprotected_frees + 1;
+      obj)
 
 let registry t = t.registry
 let machine t = t.machine
 let shadow_pages_created t = t.shadow_pages_created
+let unprotected_frees t = t.unprotected_frees
 
 let size_of t user =
   match Object_registry.find_by_addr t.registry user with

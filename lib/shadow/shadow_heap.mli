@@ -24,6 +24,7 @@ val header_bytes : int
 
 val create :
   ?shadow_placer:(int -> Vmm.Addr.t option) ->
+  ?shadow_unplace:(base:Vmm.Addr.t -> pages:int -> unit) ->
   ?on_shadow_range:(base:Vmm.Addr.t -> pages:int -> unit) ->
   registry:Object_registry.t ->
   allocator:Heap.Allocator_intf.t ->
@@ -31,22 +32,54 @@ val create :
   t
 (** [shadow_placer pages] may supply a recycled virtual address at which
     to place the next shadow range ([None] = take fresh address space);
-    [on_shadow_range] is told about every shadow range created, so a pool
-    layer can track it for destroy-time recycling. *)
+    [shadow_unplace] returns such a range to its donor when the aliasing
+    syscall fails after placement (so an injected fault does not leak
+    recycled VA); [on_shadow_range] is told about every shadow range
+    created, so a pool layer can track it for destroy-time recycling. *)
 
 val malloc : t -> ?site:string -> int -> Vmm.Addr.t
 (** Allocate [size] usable bytes; returns the shadow address.  [site] is
-    a free-form call-site label kept for diagnostics. *)
+    a free-form call-site label kept for diagnostics.  Raises
+    {!Vmm.Fault_plan.Syscall_failure} if the aliasing syscall fails
+    (only possible under an armed fault plan) — graceful callers use
+    {!try_malloc} instead. *)
+
+val try_malloc :
+  t -> ?site:string -> int -> (Vmm.Addr.t, Vmm.Fault_plan.error) result
+(** One whole-allocation attempt through the {!Vmm.Syscalls} boundary.
+    On [Error] nothing is leaked — the canonical block is returned to
+    the allocator and any recycled VA to its donor — so the call can
+    simply be repeated. *)
 
 val free : t -> ?site:string -> Vmm.Addr.t -> unit
 (** Free a shadow address.  Raises {!Report.Violation} with
-    [Double_free] / [Invalid_free] diagnostics on misuse. *)
+    [Double_free] / [Invalid_free] diagnostics on misuse, and
+    {!Vmm.Fault_plan.Syscall_failure} if the protecting [mprotect]
+    fails under an armed fault plan. *)
+
+val try_free :
+  t -> ?site:string -> Vmm.Addr.t -> (unit, Vmm.Fault_plan.error) result
+(** Like {!free} but the protecting [mprotect] goes through the typed
+    boundary: on [Error] the object is {e still live} (nothing freed),
+    so the caller can retry or fall back to {!free_unprotected}.
+    Violations still raise. *)
+
+val free_unprotected : t -> ?site:string -> Vmm.Addr.t -> Object_registry.obj
+(** Degraded-mode free: releases the object (registry + allocator)
+    {e without} protecting its shadow pages — a later dangling use of
+    this object will read reused memory silently instead of trapping.
+    Callers record the returned object so the lost guarantee stays
+    attributable.  Double/invalid frees still raise {!Report.Violation}
+    (the registry state check stands in for the missing page trap). *)
 
 val registry : t -> Object_registry.t
 val machine : t -> Vmm.Machine.t
 
 val shadow_pages_created : t -> int
 (** Total shadow pages ever created by this heap. *)
+
+val unprotected_frees : t -> int
+(** How many frees had to skip page protection ({!free_unprotected}). *)
 
 val size_of : t -> Vmm.Addr.t -> int
 (** Usable size of a live object, by shadow address. *)

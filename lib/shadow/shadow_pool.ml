@@ -28,11 +28,17 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
     | Some r when reuse_shadow_va -> Apa.Page_recycler.take r ~pages
     | Some _ | None -> None
   in
+  let shadow_unplace ~base ~pages =
+    match recycler with
+    | Some r when reuse_shadow_va -> Apa.Page_recycler.put r ~base ~pages
+    | Some _ | None -> ()
+  in
   let on_shadow_range ~base ~pages =
     Hashtbl.replace shadow_ranges base (pages, Rs_live)
   in
   let heap =
-    Shadow_heap.create ~shadow_placer ~on_shadow_range ~registry
+    Shadow_heap.create ~shadow_placer ~shadow_unplace ~on_shadow_range
+      ~registry
       ~allocator:(Apa.Pool.as_allocator pool)
       machine
   in
@@ -46,17 +52,46 @@ let alloc t ?site size =
   check_usable t "alloc";
   Shadow_heap.malloc t.heap ?site size
 
+let try_alloc t ?site size =
+  check_usable t "alloc";
+  Shadow_heap.try_malloc t.heap ?site size
+
+let mark_range_freed t (o : Object_registry.obj) =
+  Hashtbl.replace t.shadow_ranges o.Object_registry.shadow_base
+    (o.Object_registry.pages, Rs_freed)
+
 let free t ?site user =
   check_usable t "free";
   (* Look the object up first so we can flip its range state after the
      underlying free protects it. *)
   let obj = Object_registry.find_by_addr t.registry user in
   Shadow_heap.free t.heap ?site user;
-  match obj with
-  | Some o ->
-    Hashtbl.replace t.shadow_ranges o.Object_registry.shadow_base
-      (o.Object_registry.pages, Rs_freed)
-  | None -> ()
+  match obj with Some o -> mark_range_freed t o | None -> ()
+
+let try_free t ?site user =
+  check_usable t "free";
+  let obj = Object_registry.find_by_addr t.registry user in
+  match Shadow_heap.try_free t.heap ?site user with
+  | Error _ as e -> e
+  | Ok () ->
+    (match obj with Some o -> mark_range_freed t o | None -> ());
+    Ok ()
+
+let free_unprotected t ?site user =
+  check_usable t "free";
+  let obj = Shadow_heap.free_unprotected t.heap ?site user in
+  mark_range_freed t obj;
+  obj
+
+(* Raw pool access for fully degraded (pass-through) operation: the
+   canonical block with no shadow alias at all. *)
+let alloc_raw t size =
+  check_usable t "alloc";
+  Apa.Pool.alloc t.pool size
+
+let dealloc_raw t addr =
+  check_usable t "free";
+  Apa.Pool.dealloc t.pool addr
 
 let size_of t user = Shadow_heap.size_of t.heap user
 

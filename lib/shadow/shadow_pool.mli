@@ -31,6 +31,30 @@ val alloc : t -> ?site:string -> int -> Vmm.Addr.t
 val free : t -> ?site:string -> Vmm.Addr.t -> unit
 val size_of : t -> Vmm.Addr.t -> int
 
+val try_alloc :
+  t -> ?site:string -> int -> (Vmm.Addr.t, Vmm.Fault_plan.error) result
+(** {!alloc} through the typed syscall boundary: [Error] leaves the pool
+    unchanged so the caller can retry or fall back. *)
+
+val try_free :
+  t -> ?site:string -> Vmm.Addr.t -> (unit, Vmm.Fault_plan.error) result
+(** {!free} through the typed syscall boundary: on [Error] the object is
+    still live.  Misuse ([Double_free] etc.) still raises
+    {!Report.Violation}. *)
+
+val free_unprotected :
+  t -> ?site:string -> Vmm.Addr.t -> Object_registry.obj
+(** Degraded-mode free that skips page protection (see
+    {!Shadow_heap.free_unprotected}); the range is still marked freed so
+    {!reclaim_freed_shadow} can recycle it. *)
+
+val alloc_raw : t -> int -> Vmm.Addr.t
+(** Pass-through allocation straight from the underlying pool: no shadow
+    alias, no registry record, no detection for this object. *)
+
+val dealloc_raw : t -> Vmm.Addr.t -> unit
+(** Free a block obtained from {!alloc_raw}. *)
+
 val destroy : t -> unit
 (** [pooldestroy]: recycle (or unmap) all canonical and shadow ranges and
     drop their diagnostic records. *)

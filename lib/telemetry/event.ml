@@ -4,9 +4,11 @@ type kind =
   | Pool_create of { pool : int; elem_size : int option }
   | Pool_destroy of { pool : int }
   | Syscall of { name : string; pages : int }
+  | Syscall_fault of { name : string; errno : string; transient : bool }
   | Page_fault of { addr : int; access : string; fault : string }
   | Tlb_flush of { pages : int }
   | Violation of { kind : string; addr : int }
+  | Mode_change of { from_mode : string; to_mode : string; reason : string }
 
 type t = {
   seq : int;
@@ -20,16 +22,19 @@ let name = function
   | Pool_create _ -> "pool-create"
   | Pool_destroy _ -> "pool-destroy"
   | Syscall { name; _ } -> "syscall:" ^ name
+  | Syscall_fault { name; _ } -> "syscall-fault:" ^ name
   | Page_fault _ -> "page-fault"
   | Tlb_flush _ -> "tlb-flush"
   | Violation { kind; _ } -> "violation:" ^ kind
+  | Mode_change _ -> "mode-change"
 
 let category = function
   | Malloc _ | Free _ -> "heap"
   | Pool_create _ | Pool_destroy _ -> "pool"
-  | Syscall _ -> "kernel"
+  | Syscall _ | Syscall_fault _ -> "kernel"
   | Page_fault _ | Tlb_flush _ -> "mmu"
   | Violation _ -> "detector"
+  | Mode_change _ -> "governor"
 
 let hex addr = Printf.sprintf "0x%x" addr
 
@@ -51,6 +56,12 @@ let args = function
   | Pool_destroy { pool } -> [ ("pool", Json.Int pool) ]
   | Syscall { name; pages } ->
     [ ("name", Json.String name); ("pages", Json.Int pages) ]
+  | Syscall_fault { name; errno; transient } ->
+    [
+      ("name", Json.String name);
+      ("errno", Json.String errno);
+      ("transient", Json.Bool transient);
+    ]
   | Page_fault { addr; access; fault } ->
     [
       ("addr", Json.String (hex addr));
@@ -60,6 +71,12 @@ let args = function
   | Tlb_flush { pages } -> [ ("pages", Json.Int pages) ]
   | Violation { kind; addr } ->
     [ ("kind", Json.String kind); ("addr", Json.String (hex addr)) ]
+  | Mode_change { from_mode; to_mode; reason } ->
+    [
+      ("from", Json.String from_mode);
+      ("to", Json.String to_mode);
+      ("reason", Json.String reason);
+    ]
 
 let pp ppf t =
   Format.fprintf ppf "[%12.0fcy] #%-6d %-18s" t.at t.seq (name t.kind);

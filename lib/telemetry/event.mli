@@ -12,9 +12,11 @@ type kind =
   | Pool_create of { pool : int; elem_size : int option }
   | Pool_destroy of { pool : int }
   | Syscall of { name : string; pages : int }
+  | Syscall_fault of { name : string; errno : string; transient : bool }
   | Page_fault of { addr : int; access : string; fault : string }
   | Tlb_flush of { pages : int }
   | Violation of { kind : string; addr : int }
+  | Mode_change of { from_mode : string; to_mode : string; reason : string }
 
 type t = {
   seq : int;  (** recording order, a tiebreak for equal timestamps *)

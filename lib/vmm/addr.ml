@@ -10,7 +10,7 @@ let is_page_aligned a = offset a = 0
 let align_up a = (a + page_size - 1) land lnot (page_size - 1)
 
 let pages_spanning a size =
-  assert (size > 0);
+  if size <= 0 then invalid_arg "Addr.pages_spanning: size <= 0";
   page_index (a + size - 1) - page_index a + 1
 
 let pp ppf a = Format.fprintf ppf "0x%x" a

@@ -76,7 +76,12 @@ let incr_ref t f =
 let decr_ref t f =
   let s = slot t f in
   s.refs <- s.refs - 1;
-  assert (s.refs >= 0);
+  if s.refs < 0 then
+    failwith
+      (Printf.sprintf
+         "Frame_table.decr_ref: frame %d refcount went negative (invariant: \
+          every decr_ref pairs a prior incr_ref)"
+         f);
   if s.refs = 0 then begin
     t.slots.(f) <- None;
     t.free <- f :: t.free;

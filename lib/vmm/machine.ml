@@ -7,17 +7,24 @@ type t = {
   trace : Telemetry.Sink.t;
   mutable cost : Cost_model.t;
   mutable next_va : Addr.t;
+  mutable fault_plan : Fault_plan.t;
 }
 
 let va_base = Addr.of_page 0x10000 (* 256 MiB: keeps 0 and low pages invalid *)
 
 let cycles t = Cost_model.cycles t.cost (Stats.snapshot t.stats)
 
-let create ?(cost = Cost_model.llvm_base) ?(tlb_entries = 64) ?trace () =
+let create ?(cost = Cost_model.llvm_base) ?(tlb_entries = 64) ?trace
+    ?fault_plan () =
   let trace =
     match trace with
     | Some sink -> sink
     | None -> Telemetry.Sink.disabled ()
+  in
+  let fault_plan =
+    match fault_plan with
+    | Some plan -> plan
+    | None -> Fault_plan.none ()
   in
   let t =
     {
@@ -29,6 +36,7 @@ let create ?(cost = Cost_model.llvm_base) ?(tlb_entries = 64) ?trace () =
       trace;
       cost;
       next_va = va_base;
+      fault_plan;
     }
   in
   (* Events carry the machine's own logical clock. *)
@@ -36,7 +44,8 @@ let create ?(cost = Cost_model.llvm_base) ?(tlb_entries = 64) ?trace () =
   t
 
 let fresh_pages t n =
-  assert (n > 0);
+  if n <= 0 then
+    invalid_arg "Machine.fresh_pages: pages <= 0 (callers validate page counts)";
   let base = t.next_va in
   t.next_va <- t.next_va + (n * Addr.page_size);
   base

@@ -14,14 +14,23 @@ type t = {
   trace : Telemetry.Sink.t;  (** event-trace attachment; disabled by default *)
   mutable cost : Cost_model.t;
   mutable next_va : Addr.t;  (** bump pointer for fresh virtual regions *)
+  mutable fault_plan : Fault_plan.t;
+      (** fault-injection plan consulted by {!Syscalls}; defaults to
+          {!Fault_plan.none}, so an ordinary machine never fails *)
 }
 
 val create :
-  ?cost:Cost_model.t -> ?tlb_entries:int -> ?trace:Telemetry.Sink.t -> unit -> t
+  ?cost:Cost_model.t ->
+  ?tlb_entries:int ->
+  ?trace:Telemetry.Sink.t ->
+  ?fault_plan:Fault_plan.t ->
+  unit ->
+  t
 (** Fresh machine.  The virtual address space starts at a non-zero base
     so that address 0 is never valid (null-pointer hygiene).  [trace]
     attaches an event sink (see {!Telemetry.Sink}); its clock is set to
-    this machine's simulated cycle count. *)
+    this machine's simulated cycle count.  [fault_plan] arms syscall
+    fault injection for calls made through {!Syscalls}. *)
 
 val fresh_pages : t -> int -> Addr.t
 (** Reserve [n] pages of *virtual address space* (no mapping is

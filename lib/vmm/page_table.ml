@@ -90,7 +90,10 @@ let set_perm t ~page perm =
   else
     match t.dir.(page lsr chunk_shift) with
     | Some c -> c.(page land chunk_mask) <- Pte.with_perm e perm
-    | None -> assert false
+    | None ->
+      failwith
+        "Page_table.set_perm: present PTE in a missing directory chunk \
+         (invariant: map installs the chunk before any PTE is present)"
 
 (* Ranged protection change: walks each touched chunk once instead of
    re-indexing the directory per page.  All pages must be mapped (checked
@@ -104,7 +107,13 @@ let set_perm_range t ~page ~pages perm =
   let remaining = ref pages in
   while !remaining > 0 do
     let c =
-      match t.dir.(!p lsr chunk_shift) with Some c -> c | None -> assert false
+      match t.dir.(!p lsr chunk_shift) with
+      | Some c -> c
+      | None ->
+        failwith
+          "Page_table.set_perm_range: present PTE in a missing directory \
+           chunk (invariant: map installs the chunk before any PTE is \
+           present)"
     in
     let i = !p land chunk_mask in
     let n = min !remaining (chunk_size - i) in

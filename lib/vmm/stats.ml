@@ -22,6 +22,8 @@ type t = {
   mutable syscalls_munmap : int;
   mutable syscalls_dummy : int;
   mutable faults : int;
+  mutable syscalls_failed : int;
+  mutable syscall_retries : int;
   mutable pages_mapped : int;
   mutable frames_allocated : int;
 }
@@ -43,6 +45,8 @@ type snapshot = {
   syscalls_munmap : int;
   syscalls_dummy : int;
   faults : int;
+  syscalls_failed : int;
+  syscall_retries : int;
   pages_mapped : int;
   frames_allocated : int;
 }
@@ -65,6 +69,8 @@ let create () : t =
     syscalls_munmap = 0;
     syscalls_dummy = 0;
     faults = 0;
+    syscalls_failed = 0;
+    syscall_retries = 0;
     pages_mapped = 0;
     frames_allocated = 0;
   }
@@ -91,6 +97,12 @@ let count_syscall (t : t) = function
   | Sys_dummy -> t.syscalls_dummy <- t.syscalls_dummy + 1
 
 let count_fault (t : t) = t.faults <- t.faults + 1
+
+let count_syscall_failed (t : t) =
+  t.syscalls_failed <- t.syscalls_failed + 1
+
+let count_syscall_retry (t : t) =
+  t.syscall_retries <- t.syscall_retries + 1
 let count_page_mapped (t : t) = t.pages_mapped <- t.pages_mapped + 1
 let count_frame_allocated (t : t) = t.frames_allocated <- t.frames_allocated + 1
 
@@ -112,6 +124,8 @@ let snapshot (t : t) : snapshot =
     syscalls_munmap = t.syscalls_munmap;
     syscalls_dummy = t.syscalls_dummy;
     faults = t.faults;
+    syscalls_failed = t.syscalls_failed;
+    syscall_retries = t.syscall_retries;
     pages_mapped = t.pages_mapped;
     frames_allocated = t.frames_allocated;
   }
@@ -134,6 +148,8 @@ let zero : snapshot =
     syscalls_munmap = 0;
     syscalls_dummy = 0;
     faults = 0;
+    syscalls_failed = 0;
+    syscall_retries = 0;
     pages_mapped = 0;
     frames_allocated = 0;
   }
@@ -156,6 +172,8 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     syscalls_munmap = a.syscalls_munmap - b.syscalls_munmap;
     syscalls_dummy = a.syscalls_dummy - b.syscalls_dummy;
     faults = a.faults - b.faults;
+    syscalls_failed = a.syscalls_failed - b.syscalls_failed;
+    syscall_retries = a.syscall_retries - b.syscall_retries;
     pages_mapped = a.pages_mapped - b.pages_mapped;
     frames_allocated = a.frames_allocated - b.frames_allocated;
   }
@@ -180,6 +198,8 @@ let field_values (s : snapshot) =
     ("vmm.syscalls_munmap", s.syscalls_munmap);
     ("vmm.syscalls_dummy", s.syscalls_dummy);
     ("vmm.faults", s.faults);
+    ("vmm.syscalls_failed", s.syscalls_failed);
+    ("vmm.syscall_retries", s.syscall_retries);
     ("vmm.pages_mapped", s.pages_mapped);
     ("vmm.frames_allocated", s.frames_allocated);
   ]
@@ -212,6 +232,8 @@ let of_metrics registry =
     syscalls_munmap = get "vmm.syscalls_munmap";
     syscalls_dummy = get "vmm.syscalls_dummy";
     faults = get "vmm.faults";
+    syscalls_failed = get "vmm.syscalls_failed";
+    syscall_retries = get "vmm.syscall_retries";
     pages_mapped = get "vmm.pages_mapped";
     frames_allocated = get "vmm.frames_allocated";
   }
@@ -234,6 +256,8 @@ let sum (a : snapshot) (b : snapshot) : snapshot =
     syscalls_munmap = a.syscalls_munmap + b.syscalls_munmap;
     syscalls_dummy = a.syscalls_dummy + b.syscalls_dummy;
     faults = a.faults + b.faults;
+    syscalls_failed = a.syscalls_failed + b.syscalls_failed;
+    syscall_retries = a.syscall_retries + b.syscall_retries;
     pages_mapped = a.pages_mapped + b.pages_mapped;
     frames_allocated = a.frames_allocated + b.frames_allocated;
   }
@@ -247,9 +271,11 @@ let pp ppf s =
     "@[<v>instructions: %d@ loads: %d@ stores: %d@ tlb hits/misses: %d/%d@ \
      tlb shootdowns: %d (%d pages)@ cache hits/misses: %d/%d@ \
      syscalls (mmap/mremap/mprotect/munmap/dummy): %d/%d/%d/%d/%d@ faults: \
-     %d@ pages mapped: %d@ frames allocated: %d@]"
+     %d@ syscalls failed/retried: %d/%d@ pages mapped: %d@ frames \
+     allocated: %d@]"
     s.instructions s.loads s.stores s.tlb_hits s.tlb_misses s.tlb_shootdowns
     s.tlb_shootdown_pages s.cache_hits
     s.cache_misses s.syscalls_mmap
     s.syscalls_mremap s.syscalls_mprotect s.syscalls_munmap s.syscalls_dummy
-    s.faults s.pages_mapped s.frames_allocated
+    s.faults s.syscalls_failed s.syscall_retries s.pages_mapped
+    s.frames_allocated

@@ -34,6 +34,11 @@ type snapshot = {
   syscalls_munmap : int;
   syscalls_dummy : int;
   faults : int;
+  syscalls_failed : int;
+      (** syscall attempts that returned an error through the
+          {!Syscalls} boundary (injected faults and kernel rejections) *)
+  syscall_retries : int;
+      (** transient-failure retries performed by [Runtime.Retry] *)
   pages_mapped : int;      (** page-table entries created, cumulative *)
   frames_allocated : int;  (** physical frames ever allocated, cumulative *)
 }
@@ -55,6 +60,8 @@ val count_cache_hit : t -> unit
 val count_cache_miss : t -> unit
 val count_syscall : t -> syscall_kind -> unit
 val count_fault : t -> unit
+val count_syscall_failed : t -> unit
+val count_syscall_retry : t -> unit
 val count_page_mapped : t -> unit
 val count_frame_allocated : t -> unit
 

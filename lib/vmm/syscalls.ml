@@ -1,0 +1,86 @@
+type 'a outcome = ('a, Fault_plan.error) result
+
+let kind_of_call = function
+  | Fault_plan.Mmap | Fault_plan.Mmap_fixed -> Stats.Sys_mmap
+  | Fault_plan.Mremap -> Stats.Sys_mremap
+  | Fault_plan.Mprotect -> Stats.Sys_mprotect
+  | Fault_plan.Munmap -> Stats.Sys_munmap
+
+let trace_fault (m : Machine.t) name error =
+  if Telemetry.Sink.enabled m.trace then
+    Telemetry.Sink.emit_always m.trace (fun () ->
+        Telemetry.Event.Syscall_fault
+          {
+            name;
+            errno =
+              Fault_plan.errno_label
+                (match error with
+                 | Fault_plan.Transient e | Fault_plan.Fatal e -> e);
+            transient = Fault_plan.is_transient error;
+          })
+
+(* An injected failure still crosses into the kernel (the real syscall
+   returns -1 after doing the work of rejecting you), so it costs a
+   kernel round trip: the per-kind syscall counter feeds the cost model
+   exactly as a successful call would. *)
+let inject (m : Machine.t) call name =
+  match
+    Fault_plan.decide m.fault_plan call ~va_bytes:(Machine.va_bytes_used m)
+  with
+  | None -> None
+  | Some error ->
+    Stats.count_syscall m.stats (kind_of_call call);
+    Stats.count_syscall_failed m.stats;
+    trace_fault m name error;
+    Some error
+
+(* The raw kernel layer rejects malformed requests (unaligned address,
+   non-positive page count, pages outside the mapping) by raising
+   [Invalid_argument]; at this boundary those become typed EINVAL
+   results.  The kernel validates before mutating, so an EINVAL return
+   leaves the machine unchanged. *)
+let einval (m : Machine.t) name : 'a outcome =
+  let error = Fault_plan.Fatal Fault_plan.Einval in
+  Stats.count_syscall_failed m.stats;
+  trace_fault m name error;
+  Error error
+
+let guard m name thunk =
+  match thunk () with
+  | v -> Ok v
+  | exception Invalid_argument _ -> einval m name
+
+let mmap m ~pages =
+  match inject m Fault_plan.Mmap "mmap" with
+  | Some e -> Error e
+  | None -> guard m "mmap" (fun () -> Kernel.mmap m ~pages)
+
+let mmap_fixed m ~addr ~pages =
+  match inject m Fault_plan.Mmap_fixed "mmap" with
+  | Some e -> Error e
+  | None -> guard m "mmap" (fun () -> Kernel.mmap_fixed m ~addr ~pages)
+
+let mremap_alias m ~src ~pages =
+  match inject m Fault_plan.Mremap "mremap" with
+  | Some e -> Error e
+  | None -> guard m "mremap" (fun () -> Kernel.mremap_alias m ~src ~pages)
+
+let mremap_alias_at m ~src ~dst ~pages =
+  match inject m Fault_plan.Mremap "mremap" with
+  | Some e -> Error e
+  | None ->
+    guard m "mremap" (fun () -> Kernel.mremap_alias_at m ~src ~dst ~pages)
+
+let mprotect m ~addr ~pages perm =
+  match inject m Fault_plan.Mprotect "mprotect" with
+  | Some e -> Error e
+  | None -> guard m "mprotect" (fun () -> Kernel.mprotect m ~addr ~pages perm)
+
+let munmap m ~addr ~pages =
+  match inject m Fault_plan.Munmap "munmap" with
+  | Some e -> Error e
+  | None -> guard m "munmap" (fun () -> Kernel.munmap m ~addr ~pages)
+
+let ok_or_raise ~name = function
+  | Ok v -> v
+  | Error error -> raise (Fault_plan.Syscall_failure { name; error })

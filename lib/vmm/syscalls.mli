@@ -1,0 +1,29 @@
+(** The typed, injectable syscall boundary.
+
+    Same operations as {!Kernel}, but every call (1) consults the
+    machine's {!Fault_plan} and may fail without touching the machine,
+    and (2) returns a typed [result] instead of raising — including the
+    raw layer's [Invalid_argument] rejections, which surface here as
+    [Fatal Einval].  Failed attempts still cost a kernel round trip
+    (the per-kind syscall counter) and are counted in
+    [Stats.syscalls_failed] and traced as [Syscall_fault] events.
+
+    Resilient code (the governed schemes, via [Runtime.Retry]) lives on
+    this interface; {!Kernel} remains the raw layer whose misuse is a
+    programming error. *)
+
+type 'a outcome = ('a, Fault_plan.error) result
+
+val mmap : Machine.t -> pages:int -> Addr.t outcome
+val mmap_fixed : Machine.t -> addr:Addr.t -> pages:int -> unit outcome
+val mremap_alias : Machine.t -> src:Addr.t -> pages:int -> Addr.t outcome
+
+val mremap_alias_at :
+  Machine.t -> src:Addr.t -> dst:Addr.t -> pages:int -> unit outcome
+
+val mprotect : Machine.t -> addr:Addr.t -> pages:int -> Perm.t -> unit outcome
+val munmap : Machine.t -> addr:Addr.t -> pages:int -> unit outcome
+
+val ok_or_raise : name:string -> 'a outcome -> 'a
+(** Unwrap, raising {!Fault_plan.Syscall_failure} on error — for
+    callers with no graceful-degradation path. *)

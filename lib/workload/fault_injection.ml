@@ -4,6 +4,7 @@ type outcome =
   | Detected of Shadow.Report.t
   | Silent of int
   | Crashed of string
+  | Crashed_degraded of string
 
 type scenario = {
   sc_name : string;
@@ -140,4 +141,9 @@ let outcome_label = function
   | Detected r -> "DETECTED: " ^ Shadow.Report.kind_label r.Shadow.Report.kind
   | Silent v -> Printf.sprintf "MISSED (read %d)" v
   | Crashed msg -> "CRASHED: " ^ msg
+  | Crashed_degraded msg -> "CRASHED (degraded mode): " ^ msg
+
+let reclassify ~degraded = function
+  | Crashed msg when degraded -> Crashed_degraded msg
+  | outcome -> outcome
 

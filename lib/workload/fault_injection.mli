@@ -10,6 +10,10 @@ type outcome =
       (** the bad access went through; carries the (stale or reused)
           value that was read *)
   | Crashed of string  (** undiagnosed fault or allocator corruption *)
+  | Crashed_degraded of string
+      (** same crash shape, but while a {!Runtime.Governed} scheme was
+          running below [Full] protection — attributable to a recorded
+          degradation window rather than an undiagnosed runtime bug *)
 
 type scenario = {
   sc_name : string;
@@ -44,3 +48,8 @@ val spatial : scenario list
     by the combined spatial+temporal configuration. *)
 
 val outcome_label : outcome -> string
+
+val reclassify : degraded:bool -> outcome -> outcome
+(** Re-label a [Crashed] outcome as [Crashed_degraded] when the scheme
+    was known to be running degraded at observation time; all other
+    outcomes pass through unchanged. *)

@@ -191,7 +191,9 @@ let test_spatial_matrix () =
   in
   let detected = function
     | Workload.Fault_injection.Detected _ -> true
-    | Workload.Fault_injection.Silent _ | Workload.Fault_injection.Crashed _ ->
+    | Workload.Fault_injection.Silent _
+    | Workload.Fault_injection.Crashed _
+    | Workload.Fault_injection.Crashed_degraded _ ->
       false
   in
   List.iter
