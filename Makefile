@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke faults-smoke check clean
+.PHONY: all build test bench bench-smoke faults-smoke lint-smoke lint-src check clean
 
 all: build
 
@@ -26,11 +26,35 @@ bench-smoke:
 faults-smoke:
 	dune exec bin/danguard.exe -- faults all --scale-divisor 8
 
+# Static-analysis CLI smoke: exit codes (0 clean/may, 3 must-UAF) and
+# the machine-readable output pinned by the golden files.
+lint-smoke:
+	dune build bin/danguard.exe
+	dune exec bin/danguard.exe -- lint examples/lint/safe.mc
+	dune exec bin/danguard.exe -- lint examples/lint/may_alias.mc
+	! dune exec bin/danguard.exe -- lint examples/lint/must_uaf.mc
+	! dune exec bin/danguard.exe -- lint examples/lint/double_free.mc
+	@for f in safe must_uaf may_alias double_free; do \
+	  rc=0; \
+	  dune exec bin/danguard.exe -- lint --json examples/lint/$$f.mc \
+	    > /tmp/lint.$$f.json || rc=$$?; \
+	  { [ $$rc -eq 0 ] || [ $$rc -eq 3 ]; } || exit 1; \
+	  diff -u examples/lint/$$f.expected.json /tmp/lint.$$f.json || exit 1; \
+	done
+	@echo "lint-smoke: OK"
+
+# No new bare failwith / assert false in the core libraries (each must
+# name the invariant it guards; see scripts/lint_src.sh).
+lint-src:
+	sh scripts/lint_src.sh
+
 # The CI gate: build, the whole test suite, and a scale-divided bench
 # run that still exercises every section and validates BENCH_results.json.
 check:
 	dune build
 	dune runtest
+	$(MAKE) lint-src
+	$(MAKE) lint-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) faults-smoke
 

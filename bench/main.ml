@@ -430,7 +430,7 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~resilience =
+    ~static_elision ~resilience =
   let doc =
     J.Obj
       [
@@ -446,6 +446,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
                  J.Obj [ ("name", J.String name); ("ns_per_run", J.Float ns) ])
                bechamel) );
         ("fastpath", fastpath);
+        ("static_elision", static_elision);
         ("resilience", resilience);
       ]
   in
@@ -492,6 +493,7 @@ let () =
   let resilience = run_resilience ~scale_divisor () in
   run_ablations ();
   let fastpath = Fastpath.run ~smoke:!smoke () in
+  let static_elision = Static_elision.run () in
   let bechamel =
     match Sys.getenv_opt "SKIP_BECHAMEL" with
     | Some _ ->
@@ -506,6 +508,6 @@ let () =
         ("table2", Harness.Table2.to_json t2);
         ("table3", Harness.Table3.to_json t3);
       ]
-    ~costs ~bechamel ~fastpath
+    ~costs ~bechamel ~fastpath ~static_elision
     ~resilience:(Harness.Resilience.to_json resilience);
   print_endline "\nAll sections complete."

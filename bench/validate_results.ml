@@ -63,6 +63,54 @@ let () =
     fail "8-byte load did not do exactly one frame lookup";
   if structural_int "frame_lookups_per_store8" <> 1 then
     fail "8-byte store did not do exactly one frame lookup";
+  (* Static elision: the analysis-driven scheme must have skipped real
+     syscalls on at least two workloads, kept outputs identical, and —
+     the soundness half — every seeded-bug probe must still be detected
+     at a site the analysis flagged. *)
+  let static_elision = member "" doc "static_elision" in
+  let se_rows =
+    non_empty_list "static_elision.rows"
+      (member "static_elision" static_elision "rows")
+  in
+  let row_int row k =
+    match member "static_elision.rows[]" row k with
+    | J.Int n -> n
+    | _ -> fail "static_elision.rows[].%s is not an int" k
+  in
+  let elided_workloads =
+    List.filter
+      (fun row -> row_int row "elided_allocs" > 0 && row_int row "saved_syscalls" > 0)
+      se_rows
+  in
+  if List.length elided_workloads < 2 then
+    fail "static elision saved syscalls on %d workloads (need >= 2)"
+      (List.length elided_workloads);
+  List.iter
+    (fun row ->
+      (match member "static_elision.rows[]" row "outputs_equal" with
+       | J.Bool true -> ()
+       | _ -> fail "static elision changed a workload's output");
+      if row_int row "static_syscalls" > row_int row "full_syscalls" then
+        fail "static elision increased syscalls on a workload")
+    se_rows;
+  let se_probes =
+    non_empty_list "static_elision.probes"
+      (member "static_elision" static_elision "probes")
+  in
+  List.iter
+    (fun probe ->
+      let pname =
+        match member "static_elision.probes[]" probe "name" with
+        | J.String s -> s
+        | _ -> "?"
+      in
+      (match member "static_elision.probes[]" probe "detected" with
+       | J.Bool true -> ()
+       | _ -> fail "probe %s not detected under static elision" pname);
+      match member "static_elision.probes[]" probe "at_flagged_site" with
+      | J.Bool true -> ()
+      | _ -> fail "probe %s trapped at a site the analysis marked Safe" pname)
+    se_probes;
   (* Resilience campaign: every row must have completed without an
      undiagnosed crash, and every detection miss must be attributed to a
      recorded degradation window. *)
@@ -103,5 +151,6 @@ let () =
   (match member "resilience.summary" summary "ok" with
   | J.Bool true -> ()
   | _ -> fail "resilience.summary.ok is not true");
-  Printf.printf "validate: %s OK (%d fastpath rows, %d resilience rows)\n" file
-    (List.length rows) (List.length res_rows)
+  Printf.printf
+    "validate: %s OK (%d fastpath rows, %d elision rows, %d resilience rows)\n"
+    file (List.length rows) (List.length se_rows) (List.length res_rows)

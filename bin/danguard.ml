@@ -367,6 +367,47 @@ let compile_cmd =
        ~doc:"Parse, pool-transform and optionally run a MiniC program.")
     Term.(ret (const run $ file $ emit $ execute $ config_arg))
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.mc" ~doc:"MiniC source file.")
+  in
+  (* Exit codes are part of the contract (pinned by make lint-smoke):
+     0 clean / may-only, 2 malformed input, 3 at least one Must-UAF. *)
+  let run file json =
+    let fail msg =
+      prerr_endline msg;
+      Stdlib.exit 2
+    in
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Minic.Parser.parse source with
+    | exception Minic.Parser.Parse_error { line; message } ->
+      fail (Printf.sprintf "%s:%d: error: %s" file line message)
+    | exception Minic.Lexer.Lex_error { line; message } ->
+      fail (Printf.sprintf "%s:%d: error: %s" file line message)
+    | program ->
+      (match Minic.Dangling.analyze program with
+       | exception Minic.Typecheck.Type_error msg ->
+         fail (Printf.sprintf "%s: error: %s" file msg)
+       | exception Minic.Ast.Semantic_error msg ->
+         fail (Printf.sprintf "%s: error: %s" file msg)
+       | result ->
+         let d = Minic.Diagnostics.make ~file result in
+         if json then
+           print_endline (J.to_string_pretty (Minic.Diagnostics.to_json d))
+         else print_string (Minic.Diagnostics.render d);
+         Stdlib.exit (Minic.Diagnostics.exit_code d))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static dangling-pointer analysis of a MiniC program: every \
+             free and dereference gets a Safe / may-UAF / must-UAF verdict \
+             and every malloc site a protection-elision verdict.  Exits 3 \
+             if a must-UAF is found, 2 on malformed input.")
+    Term.(const run $ file $ json_arg)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -558,7 +599,7 @@ let main_cmd =
     (Cmd.info "danguard" ~version:"1.0.0" ~doc)
     [
       table_cmd; addr_space_cmd; detect_cmd; faults_cmd; exhaustion_cmd;
-      run_cmd; list_cmd; compile_cmd; trace_cmd; demo_cmd;
+      run_cmd; list_cmd; compile_cmd; lint_cmd; trace_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

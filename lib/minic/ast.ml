@@ -6,7 +6,27 @@
     constructors ([Pool_init] … [Pool_free]) never appear in parsed
     programs; {!Pool_transform} introduces them, exactly as the paper's
     compiler rewrites [malloc]/[free] into [poolalloc]/[poolfree] against
-    inserted or inherited pool descriptors. *)
+    inserted or inherited pool descriptors.
+
+    Allocation, free and dereference nodes carry a source {!pos} so the
+    static analysis ({!Dangling}) and the runtime can talk about the same
+    sites: diagnostics print [file:line:col] and the interpreter appends
+    ["@line:col"] to allocation-site strings, which is what the per-site
+    protection policy in [Runtime.Schemes] keys on. *)
+
+type pos = { line : int; col : int }
+
+(** Position for programmatically built ASTs.  Sites carrying [no_pos]
+    are never elided by a protection policy. *)
+let no_pos = { line = 0; col = 0 }
+
+let pos_label p =
+  if p = no_pos then "?" else Printf.sprintf "%d:%d" p.line p.col
+
+(** Suffix appended to runtime allocation/free site strings; the
+    per-site protection policy parses it back out. *)
+let pos_suffix p =
+  if p = no_pos then "" else Printf.sprintf "@%d:%d" p.line p.col
 
 type typ =
   | Tint
@@ -27,22 +47,24 @@ type expr =
   | Var of string
   | Binop of binop * expr * expr
   | Unop of unop * expr
-  | Field of expr * string          (** [e->f] *)
-  | Malloc of string                (** [malloc(struct s)] *)
-  | Malloc_array of string * expr   (** [malloc(struct s, n)]: n contiguous elements *)
-  | Pool_malloc of string * string  (** [poolalloc(pd, struct s)] — transform output *)
-  | Pool_malloc_array of string * string * expr
+  | Field of expr * string * pos          (** [e->f] *)
+  | Malloc of string * pos                (** [malloc(struct s)] *)
+  | Malloc_array of string * expr * pos
+      (** [malloc(struct s, n)]: n contiguous elements *)
+  | Pool_malloc of string * string * pos
+      (** [poolalloc(pd, struct s)] — transform output *)
+  | Pool_malloc_array of string * string * expr * pos
       (** [poolalloc(pd, struct s, n)] — transform output *)
-  | Index of expr * expr
+  | Index of expr * expr * pos
       (** [e[i]]: pointer to the i-th element of an array allocation *)
   | Call of string * expr list
 
 type stmt =
   | Decl of typ * string * expr option
   | Assign of string * expr
-  | Store of expr * string * expr   (** [e1->f = e2] *)
-  | Free of expr
-  | Pool_free of string * expr      (** [poolfree(pd, e)] — transform output *)
+  | Store of expr * string * expr * pos   (** [e1->f = e2] *)
+  | Free of expr * pos
+  | Pool_free of string * expr * pos      (** [poolfree(pd, e)] — transform output *)
   | If of expr * stmt list * stmt list
   | While of expr * stmt list
   | Return of expr option
@@ -65,21 +87,63 @@ type program = {
   funcs : func list;
 }
 
+(** Raised by the struct-layout helpers on malformed programs (unknown
+    struct or field).  A typed error so the lint/compile CLIs can turn it
+    into a diagnostic instead of crashing on [Invalid_argument]. *)
+exception Semantic_error of string
+
+let semantic_error fmt = Printf.ksprintf (fun m -> raise (Semantic_error m)) fmt
+
 let struct_fields program name =
   match List.assoc_opt name program.structs with
   | Some fields -> fields
-  | None -> invalid_arg (Printf.sprintf "unknown struct %s" name)
+  | None -> semantic_error "unknown struct %s" name
 
 let struct_size program name = 8 * List.length (struct_fields program name)
 
 let field_index program sname fname =
   let fields = struct_fields program sname in
   let rec go i = function
-    | [] ->
-      invalid_arg (Printf.sprintf "struct %s has no field %s" sname fname)
+    | [] -> semantic_error "struct %s has no field %s" sname fname
     | (_, f) :: rest -> if f = fname then i else go (i + 1) rest
   in
   go 0 fields
 
 let find_func program name =
   List.find_opt (fun f -> f.name = name) program.funcs
+
+(** Erase all source positions (to [no_pos]); used by the pretty-printer
+    round-trip test, which compares ASTs modulo positions. *)
+let rec strip_expr = function
+  | (Int _ | Null | Var _) as e -> e
+  | Binop (op, a, b) -> Binop (op, strip_expr a, strip_expr b)
+  | Unop (op, a) -> Unop (op, strip_expr a)
+  | Field (e, f, _) -> Field (strip_expr e, f, no_pos)
+  | Malloc (s, _) -> Malloc (s, no_pos)
+  | Malloc_array (s, n, _) -> Malloc_array (s, strip_expr n, no_pos)
+  | Pool_malloc (pd, s, _) -> Pool_malloc (pd, s, no_pos)
+  | Pool_malloc_array (pd, s, n, _) ->
+    Pool_malloc_array (pd, s, strip_expr n, no_pos)
+  | Index (e, i, _) -> Index (strip_expr e, strip_expr i, no_pos)
+  | Call (f, args) -> Call (f, List.map strip_expr args)
+
+let rec strip_stmt = function
+  | Decl (t, x, init) -> Decl (t, x, Option.map strip_expr init)
+  | Assign (x, e) -> Assign (x, strip_expr e)
+  | Store (e1, f, e2, _) -> Store (strip_expr e1, f, strip_expr e2, no_pos)
+  | Free (e, _) -> Free (strip_expr e, no_pos)
+  | Pool_free (pd, e, _) -> Pool_free (pd, strip_expr e, no_pos)
+  | If (c, t, f) ->
+    If (strip_expr c, List.map strip_stmt t, List.map strip_stmt f)
+  | While (c, body) -> While (strip_expr c, List.map strip_stmt body)
+  | Return e -> Return (Option.map strip_expr e)
+  | Print e -> Print (strip_expr e)
+  | Expr e -> Expr (strip_expr e)
+  | (Pool_init _ | Pool_destroy _) as s -> s
+
+let strip_positions program =
+  { program with
+    funcs =
+      List.map
+        (fun f -> { f with body = List.map strip_stmt f.body })
+        program.funcs }

@@ -1,0 +1,100 @@
+(* Per-function control-flow graph over the MiniC AST.
+
+   Structured control flow is flattened into basic blocks of "simple"
+   instructions: an [If] contributes its condition to the current block
+   and branches to then/else blocks that re-join; a [While] gets a
+   dedicated head block (condition) with a back edge from the body and an
+   exit edge past the loop.  [Return] terminates its block with no
+   successors; statements after it land in a fresh block with no
+   predecessors, which the dataflow pass (see {!Dangling}) simply never
+   reaches. *)
+
+type instr =
+  | Simple of Ast.stmt  (* Decl/Assign/Store/Free/…, never If/While *)
+  | Cond of Ast.expr    (* branch or loop condition, evaluated here *)
+
+type block = {
+  id : int;
+  mutable instrs : instr list;  (* in execution order once built *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = { fname : string; blocks : block array; entry : int }
+
+let build (f : Ast.func) =
+  let blocks = ref [] in
+  let n = ref 0 in
+  let new_block () =
+    let b = { id = !n; instrs = []; succs = []; preds = [] } in
+    incr n;
+    blocks := b :: !blocks;
+    b
+  in
+  let add_instr b i = b.instrs <- i :: b.instrs in
+  let add_edge a b =
+    a.succs <- b.id :: a.succs;
+    b.preds <- a.id :: b.preds
+  in
+  (* Lay out [stmts] starting in block [b]; returns the (open) block
+     control falls out of. *)
+  let rec layout b = function
+    | [] -> b
+    | s :: rest ->
+      (match s with
+       | Ast.If (c, t, e) ->
+         add_instr b (Cond c);
+         let tb = new_block () and eb = new_block () in
+         add_edge b tb;
+         add_edge b eb;
+         let tend = layout tb t in
+         let eend = layout eb e in
+         let join = new_block () in
+         add_edge tend join;
+         add_edge eend join;
+         layout join rest
+       | Ast.While (c, body) ->
+         let head = new_block () in
+         add_edge b head;
+         add_instr head (Cond c);
+         let bb = new_block () and exit = new_block () in
+         add_edge head bb;
+         add_edge head exit;
+         let bend = layout bb body in
+         add_edge bend head;
+         layout exit rest
+       | Ast.Return _ ->
+         add_instr b (Simple s);
+         (* No successors: the rest is unreachable. *)
+         layout (new_block ()) rest
+       | _ ->
+         add_instr b (Simple s);
+         layout b rest)
+  in
+  let entry = new_block () in
+  ignore (layout entry f.Ast.body);
+  let arr = Array.make !n entry in
+  List.iter (fun b -> arr.(b.id) <- b) !blocks;
+  Array.iter
+    (fun b ->
+      b.instrs <- List.rev b.instrs;
+      b.succs <- List.rev b.succs;
+      b.preds <- List.rev b.preds)
+    arr;
+  { fname = f.Ast.name; blocks = arr; entry = entry.id }
+
+(* Reverse postorder from the entry; unreachable blocks are omitted. *)
+let rpo t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let order = ref [] in
+  let rec dfs id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter dfs t.blocks.(id).succs;
+      order := id :: !order
+    end
+  in
+  dfs t.entry;
+  !order
+
+let block_count t = Array.length t.blocks

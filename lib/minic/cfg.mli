@@ -1,0 +1,30 @@
+(** Per-function control-flow graphs for MiniC.
+
+    {!Dangling} runs its flow-sensitive dataflow over these: structured
+    [If]/[While] statements are flattened into basic blocks whose last
+    instruction is the branch condition, loops get a head block with a
+    back edge, and [Return] blocks have no successors. *)
+
+type instr =
+  | Simple of Ast.stmt
+      (** A straight-line statement; never [If] or [While]. *)
+  | Cond of Ast.expr
+      (** A branch/loop condition evaluated at the end of its block (the
+          block's successors are the two branch targets). *)
+
+type block = {
+  id : int;
+  mutable instrs : instr list;  (** execution order *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = { fname : string; blocks : block array; entry : int }
+
+val build : Ast.func -> t
+
+val rpo : t -> int list
+(** Block ids in reverse postorder from the entry.  Unreachable blocks
+    (e.g. statements after a [return]) are omitted. *)
+
+val block_count : t -> int

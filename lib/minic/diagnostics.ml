@@ -1,0 +1,102 @@
+(* Rendering for `danguard lint`: the human report and the stable JSON
+   document the golden-file tests under examples/lint/ pin down. *)
+
+module J = Telemetry.Json
+
+type t = { file : string; result : Dangling.result }
+
+let make ~file result = { file; result }
+
+let summary t =
+  let safe, may, must = Dangling.count_findings t.result in
+  let elidable =
+    List.length
+      (List.filter
+         (fun (s : Dangling.site) -> s.verdict = Dangling.Safe)
+         t.result.Dangling.sites)
+  in
+  (safe, may, must, elidable)
+
+let has_must t = Dangling.has_must t.result
+
+(* Exit status for the CLI: nonzero on a Must-UAF so CI can gate on it. *)
+let exit_code t = if has_must t then 3 else 0
+
+let pos_str t (p : Ast.pos) =
+  Printf.sprintf "%s:%d:%d" t.file p.Ast.line p.Ast.col
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (fd : Dangling.finding) ->
+      match fd.verdict with
+      | Dangling.Safe -> ()
+      | v ->
+        addf "%s: %s: %s of a %s pointer in %s%s\n" (pos_str t fd.pos)
+          (Dangling.verdict_label v)
+          (Dangling.kind_label fd.kind)
+          (match v with
+           | Dangling.Must_uaf -> "freed"
+           | _ -> "possibly-freed")
+          fd.fname
+          (if fd.witness = "" then "" else Printf.sprintf " (%s)" fd.witness))
+    t.result.Dangling.findings;
+  List.iter
+    (fun (s : Dangling.site) ->
+      addf "%s: note: malloc(struct %s) in %s is %s%s\n" (pos_str t s.pos)
+        s.struct_name s.fname
+        (Dangling.verdict_label s.verdict)
+        (if s.verdict = Dangling.Safe then
+           " — shadow protection elidable"
+         else ""))
+    t.result.Dangling.sites;
+  let safe, may, must, elidable = summary t in
+  addf "%s: %d safe, %d may-uaf, %d must-uaf uses; %d of %d malloc sites elidable\n"
+    t.file safe may must elidable
+    (List.length t.result.Dangling.sites);
+  Buffer.contents buf
+
+let to_json t =
+  let safe, may, must, elidable = summary t in
+  let finding_json (fd : Dangling.finding) =
+    J.Obj
+      [
+        ("func", J.String fd.fname);
+        ("line", J.Int fd.pos.Ast.line);
+        ("col", J.Int fd.pos.Ast.col);
+        ("kind", J.String (Dangling.kind_label fd.kind));
+        ("verdict", J.String (Dangling.verdict_label fd.verdict));
+        ( "class",
+          match fd.class_id with Some c -> J.Int c | None -> J.Null );
+        ("witness", J.String fd.witness);
+      ]
+  in
+  let site_json (s : Dangling.site) =
+    J.Obj
+      [
+        ("site", J.Int s.ordinal);
+        ("func", J.String s.fname);
+        ("struct", J.String s.struct_name);
+        ("line", J.Int s.pos.Ast.line);
+        ("col", J.Int s.pos.Ast.col);
+        ("class", J.Int s.class_id);
+        ("verdict", J.String (Dangling.verdict_label s.verdict));
+        ("elidable", J.Bool (s.verdict = Dangling.Safe));
+      ]
+  in
+  J.Obj
+    [
+      ("file", J.String t.file);
+      ( "summary",
+        J.Obj
+          [
+            ("safe", J.Int safe);
+            ("may_uaf", J.Int may);
+            ("must_uaf", J.Int must);
+            ("sites", J.Int (List.length t.result.Dangling.sites));
+            ("elidable_sites", J.Int elidable);
+          ] );
+      ("findings", J.List (List.map finding_json t.result.Dangling.findings));
+      ("sites", J.List (List.map site_json t.result.Dangling.sites));
+    ]

@@ -1,0 +1,25 @@
+(** Human and JSON rendering of {!Dangling} results for `danguard lint`.
+
+    The JSON shape is pinned by golden files under examples/lint/ — keep
+    it stable (fields are emitted in a fixed order, findings sorted by
+    source position). *)
+
+type t
+
+val make : file:string -> Dangling.result -> t
+(** [file] is the label used in diagnostics ([file:line:col]) and the
+    JSON document; pass the path the user named. *)
+
+val render : t -> string
+(** Human-readable report: one line per May/Must finding, a note per
+    malloc site with its class verdict, and a summary line. *)
+
+val to_json : t -> Telemetry.Json.t
+
+val has_must : t -> bool
+
+val exit_code : t -> int
+(** [3] when any Must-UAF finding is present, else [0]. *)
+
+val summary : t -> int * int * int * int
+(** (safe, may, must, elidable-site) counts. *)

@@ -18,6 +18,7 @@ type state = {
   mutable steps : int;
   max_steps : int;
   mutable prints : int list;
+  on_violation : (fname:string -> pos:Ast.pos -> Shadow.Report.t -> unit) option;
 }
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
@@ -51,6 +52,19 @@ let lookup_pool st frame name =
 let truthy v = v <> 0
 let of_bool b = if b then 1 else 0
 
+(* Run a guarded memory operation; a detected violation is reported to
+   the differential-oracle hook (with the syntactic use site) before
+   propagating, so tests can match dynamic violations against static
+   verdicts per source position. *)
+let guarded st ~fname ~pos f =
+  match st.on_violation with
+  | None -> f ()
+  | Some hook ->
+    (try f ()
+     with Shadow.Report.Violation r ->
+       hook ~fname ~pos r;
+       raise (Shadow.Report.Violation r))
+
 let rec eval st frame fname expr =
   step st;
   match expr with
@@ -60,27 +74,33 @@ let rec eval st frame fname expr =
   | Ast.Binop (op, a, b) -> eval_binop st frame fname op a b
   | Ast.Unop (Ast.Neg, a) -> -eval st frame fname a
   | Ast.Unop (Ast.Not, a) -> of_bool (not (truthy (eval st frame fname a)))
-  | Ast.Field (base, f) ->
+  | Ast.Field (base, f, pos) ->
     let addr, off = field_addr st frame fname base f in
-    st.scheme.Runtime.Scheme.load (addr + off) ~width:8
-  | Ast.Malloc s ->
+    guarded st ~fname ~pos (fun () ->
+        st.scheme.Runtime.Scheme.load (addr + off) ~width:8)
+  | Ast.Malloc (s, pos) ->
     st.scheme.Runtime.Scheme.malloc
-      ~site:(Printf.sprintf "%s:malloc(struct %s)" fname s)
+      ~site:
+        (Printf.sprintf "%s:malloc(struct %s)%s" fname s (Ast.pos_suffix pos))
       (Ast.struct_size st.program s)
-  | Ast.Malloc_array (s, count) ->
+  | Ast.Malloc_array (s, count, pos) ->
     let n = eval st frame fname count in
     if n <= 0 then fail "%s: malloc(struct %s, %d): count must be positive" fname s n;
     st.scheme.Runtime.Scheme.malloc
-      ~site:(Printf.sprintf "%s:malloc(struct %s, %d)" fname s n)
+      ~site:
+        (Printf.sprintf "%s:malloc(struct %s, %d)%s" fname s n
+           (Ast.pos_suffix pos))
       (n * Ast.struct_size st.program s)
-  | Ast.Pool_malloc_array (pv, s, count) ->
+  | Ast.Pool_malloc_array (pv, s, count, pos) ->
     let n = eval st frame fname count in
     if n <= 0 then fail "%s: poolalloc(struct %s, %d): count must be positive" fname s n;
     let pool = lookup_pool st frame pv in
     pool.Runtime.Scheme.pool_alloc
-      ~site:(Printf.sprintf "%s:poolalloc(%s, struct %s, %d)" fname pv s n)
+      ~site:
+        (Printf.sprintf "%s:poolalloc(%s, struct %s, %d)%s" fname pv s n
+           (Ast.pos_suffix pos))
       (n * Ast.struct_size st.program s)
-  | Ast.Index (base, idx) ->
+  | Ast.Index (base, idx, _) ->
     let addr = eval st frame fname base in
     if addr = 0 then
       raise (Null_dereference (Printf.sprintf "%s: null[...]" fname));
@@ -91,10 +111,12 @@ let rec eval st frame fname expr =
       | None -> fail "%s: cannot type base of [...]" fname
     in
     addr + (i * Ast.struct_size st.program sname)
-  | Ast.Pool_malloc (pv, s) ->
+  | Ast.Pool_malloc (pv, s, pos) ->
     let pool = lookup_pool st frame pv in
     pool.Runtime.Scheme.pool_alloc
-      ~site:(Printf.sprintf "%s:poolalloc(%s, struct %s)" fname pv s)
+      ~site:
+        (Printf.sprintf "%s:poolalloc(%s, struct %s)%s" fname pv s
+           (Ast.pos_suffix pos))
       (Ast.struct_size st.program s)
   | Ast.Call (g, args) ->
     (match call st fname g args frame with
@@ -126,7 +148,9 @@ and eval_binop st frame fname op a b =
      | Ast.Le -> of_bool (x <= y)
      | Ast.Gt -> of_bool (x > y)
      | Ast.Ge -> of_bool (x >= y)
-     | Ast.And | Ast.Or -> assert false)
+     | Ast.And | Ast.Or ->
+       (* invariant: short-circuit ops are handled by the arms above *)
+       assert false)
 
 and field_addr st frame fname base f =
   let addr = eval st frame fname base in
@@ -150,7 +174,7 @@ and struct_of_expr st fname frame = function
        (match Hashtbl.find_opt st.globals ("%type:" ^ x) with
         | Some id -> Some (List.nth (List.map fst st.program.Ast.structs) id)
         | None -> None))
-  | Ast.Field (base, f) ->
+  | Ast.Field (base, f, _) ->
     Option.bind (struct_of_expr st fname frame base) (fun sname ->
         match
           List.assoc_opt f
@@ -158,10 +182,12 @@ and struct_of_expr st fname frame = function
         with
         | Some (Ast.Tptr s) -> Some s
         | Some Ast.Tint | None -> None)
-  | Ast.Malloc s | Ast.Pool_malloc (_, s) | Ast.Malloc_array (s, _)
-  | Ast.Pool_malloc_array (_, s, _) ->
+  | Ast.Malloc (s, _)
+  | Ast.Pool_malloc (_, s, _)
+  | Ast.Malloc_array (s, _, _)
+  | Ast.Pool_malloc_array (_, s, _, _) ->
     Some s
-  | Ast.Index (base, _) -> struct_of_expr st fname frame base
+  | Ast.Index (base, _, _) -> struct_of_expr st fname frame base
   | Ast.Call (g, _) ->
     Option.bind (Ast.find_func st.program g) (fun fn ->
         match fn.Ast.ret with
@@ -226,21 +252,27 @@ and exec_stmt st frame fname stmt =
     in
     bind_typed st frame x typ v
   | Ast.Assign (x, e) -> set_var st frame x (eval st frame fname e)
-  | Ast.Store (base, f, e) ->
+  | Ast.Store (base, f, e, pos) ->
     let addr, off = field_addr st frame fname base f in
     let v = eval st frame fname e in
-    st.scheme.Runtime.Scheme.store (addr + off) ~width:8 v
-  | Ast.Free e ->
+    guarded st ~fname ~pos (fun () ->
+        st.scheme.Runtime.Scheme.store (addr + off) ~width:8 v)
+  | Ast.Free (e, pos) ->
     let v = eval st frame fname e in
     if v <> 0 then
-      st.scheme.Runtime.Scheme.free ~site:(Printf.sprintf "%s:free" fname) v
-  | Ast.Pool_free (pv, e) ->
+      guarded st ~fname ~pos (fun () ->
+          st.scheme.Runtime.Scheme.free
+            ~site:(Printf.sprintf "%s:free%s" fname (Ast.pos_suffix pos))
+            v)
+  | Ast.Pool_free (pv, e, pos) ->
     let v = eval st frame fname e in
     if v <> 0 then begin
       let pool = lookup_pool st frame pv in
-      pool.Runtime.Scheme.pool_free
-        ~site:(Printf.sprintf "%s:poolfree(%s)" fname pv)
-        v
+      guarded st ~fname ~pos (fun () ->
+          pool.Runtime.Scheme.pool_free
+            ~site:
+              (Printf.sprintf "%s:poolfree(%s)%s" fname pv (Ast.pos_suffix pos))
+            v)
     end
   | Ast.If (c, t, f) ->
     if truthy (eval st frame fname c) then exec_stmts st frame fname t
@@ -271,7 +303,7 @@ and exec_stmt st frame fname stmt =
     let pool = lookup_pool st frame pv in
     pool.Runtime.Scheme.pool_destroy ()
 
-let run ?(entry = "main") ?(max_steps = 50_000_000) program scheme =
+let run ?(entry = "main") ?(max_steps = 50_000_000) ?on_violation program scheme =
   let st =
     {
       program;
@@ -281,6 +313,7 @@ let run ?(entry = "main") ?(max_steps = 50_000_000) program scheme =
       steps = 0;
       max_steps;
       prints = [];
+      on_violation;
     }
   in
   List.iter

@@ -19,7 +19,18 @@ type outcome = {
 }
 
 val run :
-  ?entry:string -> ?max_steps:int -> Ast.program -> Runtime.Scheme.t -> outcome
+  ?entry:string ->
+  ?max_steps:int ->
+  ?on_violation:(fname:string -> pos:Ast.pos -> Shadow.Report.t -> unit) ->
+  Ast.program ->
+  Runtime.Scheme.t ->
+  outcome
 (** Execute [entry] (default ["main"]) with no arguments.  Raises
     {!Runtime_error} if [max_steps] (default 50 million) is exceeded —
-    the brake for accidentally non-terminating test programs. *)
+    the brake for accidentally non-terminating test programs.
+
+    [on_violation] is called (then the violation re-raised) whenever a
+    guarded load/store/free traps, with the enclosing function and the
+    source position of the dereference or free — the bridge that lets
+    the differential soundness oracle match each dynamic violation
+    against the static verdict for that site. *)

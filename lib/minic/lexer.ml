@@ -29,18 +29,26 @@ let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || is_digit c
 
-let tokenize src =
+(* Tokenize with full source positions: each token carries the 1-based
+   line and column of its first character. *)
+let tokenize_pos src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
-  let emit tok = tokens := (tok, !line) :: !tokens in
+  (* Index of the first character of the current line; columns are
+     [i - bol + 1]. *)
+  let bol = ref 0 in
+  let newline i = incr line; bol := i + 1 in
+  let emit_at i tok =
+    tokens := (tok, { Ast.line = !line; col = i - !bol + 1 }) :: !tokens
+  in
   let error message = raise (Lex_error { line = !line; message }) in
   let rec go i =
     if i >= n then ()
     else
       match src.[i] with
       | '\n' ->
-        incr line;
+        newline i;
         go (i + 1)
       | ' ' | '\t' | '\r' -> go (i + 1)
       | '/' when i + 1 < n && src.[i + 1] = '/' ->
@@ -51,7 +59,7 @@ let tokenize src =
           if j + 1 >= n then error "unterminated comment"
           else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
           else begin
-            if src.[j] = '\n' then incr line;
+            if src.[j] = '\n' then newline j;
             skip (j + 1)
           end
         in
@@ -59,52 +67,55 @@ let tokenize src =
       | c when is_digit c ->
         let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
         let j = scan i in
-        emit (INT_LIT (int_of_string (String.sub src i (j - i))));
+        emit_at i (INT_LIT (int_of_string (String.sub src i (j - i))));
         go j
       | c when is_ident_start c ->
         let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
         let j = scan i in
         let word = String.sub src i (j - i) in
-        emit (match keyword word with Some kw -> kw | None -> IDENT word);
+        emit_at i (match keyword word with Some kw -> kw | None -> IDENT word);
         go j
-      | '{' -> emit LBRACE; go (i + 1)
-      | '}' -> emit RBRACE; go (i + 1)
-      | '(' -> emit LPAREN; go (i + 1)
-      | ')' -> emit RPAREN; go (i + 1)
-      | '[' -> emit LBRACKET; go (i + 1)
-      | ']' -> emit RBRACKET; go (i + 1)
-      | ';' -> emit SEMI; go (i + 1)
-      | ',' -> emit COMMA; go (i + 1)
-      | '*' -> emit STAR; go (i + 1)
-      | '+' -> emit PLUS; go (i + 1)
-      | '%' -> emit PERCENT; go (i + 1)
-      | '/' -> emit SLASH; go (i + 1)
+      | '{' -> emit_at i LBRACE; go (i + 1)
+      | '}' -> emit_at i RBRACE; go (i + 1)
+      | '(' -> emit_at i LPAREN; go (i + 1)
+      | ')' -> emit_at i RPAREN; go (i + 1)
+      | '[' -> emit_at i LBRACKET; go (i + 1)
+      | ']' -> emit_at i RBRACKET; go (i + 1)
+      | ';' -> emit_at i SEMI; go (i + 1)
+      | ',' -> emit_at i COMMA; go (i + 1)
+      | '*' -> emit_at i STAR; go (i + 1)
+      | '+' -> emit_at i PLUS; go (i + 1)
+      | '%' -> emit_at i PERCENT; go (i + 1)
+      | '/' -> emit_at i SLASH; go (i + 1)
       | '-' ->
-        if i + 1 < n && src.[i + 1] = '>' then begin emit ARROW; go (i + 2) end
-        else begin emit MINUS; go (i + 1) end
+        if i + 1 < n && src.[i + 1] = '>' then begin emit_at i ARROW; go (i + 2) end
+        else begin emit_at i MINUS; go (i + 1) end
       | '=' ->
-        if i + 1 < n && src.[i + 1] = '=' then begin emit EQ; go (i + 2) end
-        else begin emit ASSIGN; go (i + 1) end
+        if i + 1 < n && src.[i + 1] = '=' then begin emit_at i EQ; go (i + 2) end
+        else begin emit_at i ASSIGN; go (i + 1) end
       | '!' ->
-        if i + 1 < n && src.[i + 1] = '=' then begin emit NE; go (i + 2) end
-        else begin emit BANG; go (i + 1) end
+        if i + 1 < n && src.[i + 1] = '=' then begin emit_at i NE; go (i + 2) end
+        else begin emit_at i BANG; go (i + 1) end
       | '<' ->
-        if i + 1 < n && src.[i + 1] = '=' then begin emit LE; go (i + 2) end
-        else begin emit LT; go (i + 1) end
+        if i + 1 < n && src.[i + 1] = '=' then begin emit_at i LE; go (i + 2) end
+        else begin emit_at i LT; go (i + 1) end
       | '>' ->
-        if i + 1 < n && src.[i + 1] = '=' then begin emit GE; go (i + 2) end
-        else begin emit GT; go (i + 1) end
+        if i + 1 < n && src.[i + 1] = '=' then begin emit_at i GE; go (i + 2) end
+        else begin emit_at i GT; go (i + 1) end
       | '&' ->
-        if i + 1 < n && src.[i + 1] = '&' then begin emit ANDAND; go (i + 2) end
+        if i + 1 < n && src.[i + 1] = '&' then begin emit_at i ANDAND; go (i + 2) end
         else error "expected '&&'"
       | '|' ->
-        if i + 1 < n && src.[i + 1] = '|' then begin emit OROR; go (i + 2) end
+        if i + 1 < n && src.[i + 1] = '|' then begin emit_at i OROR; go (i + 2) end
         else error "expected '||'"
       | c -> error (Printf.sprintf "unexpected character %C" c)
   in
   go 0;
-  emit EOF;
+  emit_at n EOF;
   List.rev !tokens
+
+let tokenize src =
+  List.map (fun (tok, p) -> (tok, p.Ast.line)) (tokenize_pos src)
 
 let token_label = function
   | INT_LIT n -> string_of_int n

@@ -19,4 +19,10 @@ val tokenize : string -> (token * int) list
 (** Token plus its 1-based source line.  Comments ([// …] and [/* … */])
     and whitespace are skipped.  Raises {!Lex_error} on junk. *)
 
+val tokenize_pos : string -> (token * Ast.pos) list
+(** Like {!tokenize}, but each token carries its full 1-based
+    line/column position — what the parser threads into AST nodes so
+    lint diagnostics and runtime allocation sites can name
+    [file:line:col]. *)
+
 val token_label : token -> string

@@ -2,12 +2,12 @@ open Lexer
 
 exception Parse_error of { line : int; message : string }
 
-type state = { mutable toks : (token * int) list }
+type state = { mutable toks : (token * Ast.pos) list }
 
 let peek st =
   match st.toks with
-  | (tok, line) :: _ -> (tok, line)
-  | [] -> (EOF, 0)
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> (EOF, Ast.no_pos)
 
 let advance st =
   match st.toks with
@@ -15,17 +15,17 @@ let advance st =
   | [] -> ()
 
 let error st message =
-  let _, line = peek st in
-  raise (Parse_error { line; message })
+  let _, pos = peek st in
+  raise (Parse_error { line = pos.Ast.line; message })
 
 let expect st tok =
-  let got, line = peek st in
+  let got, pos = peek st in
   if got = tok then advance st
   else
     raise
       (Parse_error
          {
-           line;
+           line = pos.Ast.line;
            message =
              Printf.sprintf "expected %s but found %s" (token_label tok)
                (token_label got);
@@ -36,11 +36,11 @@ let expect_ident st =
   | IDENT name, _ ->
     advance st;
     name
-  | tok, line ->
+  | tok, pos ->
     raise
       (Parse_error
          {
-           line;
+           line = pos.Ast.line;
            message = Printf.sprintf "expected identifier, found %s" (token_label tok);
          })
 
@@ -55,11 +55,11 @@ let parse_type st =
     let name = expect_ident st in
     expect st STAR;
     Ast.Tptr name
-  | tok, line ->
+  | tok, pos ->
     raise
       (Parse_error
          {
-           line;
+           line = pos.Ast.line;
            message = Printf.sprintf "expected a type, found %s" (token_label tok);
          })
 
@@ -125,15 +125,15 @@ and parse_unary st =
 and parse_postfix st =
   let rec fields e =
     match peek st with
-    | ARROW, _ ->
+    | ARROW, pos ->
       advance st;
       let f = expect_ident st in
-      fields (Ast.Field (e, f))
-    | LBRACKET, _ ->
+      fields (Ast.Field (e, f, pos))
+    | LBRACKET, pos ->
       advance st;
       let i = parse_expr st in
       expect st RBRACKET;
-      fields (Ast.Index (e, i))
+      fields (Ast.Index (e, i, pos))
     | _ -> e
   in
   fields (parse_primary st)
@@ -142,7 +142,7 @@ and parse_primary st =
   match peek st with
   | INT_LIT n, _ -> advance st; Ast.Int n
   | KW_NULL, _ -> advance st; Ast.Null
-  | KW_MALLOC, _ ->
+  | KW_MALLOC, pos ->
     advance st;
     expect st LPAREN;
     expect st KW_STRUCT;
@@ -152,10 +152,10 @@ and parse_primary st =
        advance st;
        let count = parse_expr st in
        expect st RPAREN;
-       Ast.Malloc_array (name, count)
+       Ast.Malloc_array (name, count, pos)
      | _ ->
        expect st RPAREN;
-       Ast.Malloc name)
+       Ast.Malloc (name, pos))
   | LPAREN, _ ->
     advance st;
     let e = parse_expr st in
@@ -170,11 +170,11 @@ and parse_primary st =
        expect st RPAREN;
        Ast.Call (name, args)
      | _ -> Ast.Var name)
-  | tok, line ->
+  | tok, pos ->
     raise
       (Parse_error
          {
-           line;
+           line = pos.Ast.line;
            message = Printf.sprintf "expected expression, found %s" (token_label tok);
          })
 
@@ -216,13 +216,13 @@ and parse_stmt st =
     in
     expect st SEMI;
     Ast.Decl (typ, name, init)
-  | KW_FREE, _ ->
+  | KW_FREE, pos ->
     advance st;
     expect st LPAREN;
     let e = parse_expr st in
     expect st RPAREN;
     expect st SEMI;
-    Ast.Free e
+    Ast.Free (e, pos)
   | KW_PRINT, _ ->
     advance st;
     expect st LPAREN;
@@ -269,19 +269,19 @@ and parse_stmt st =
        let rhs = parse_expr st in
        expect st SEMI;
        Ast.Assign (name, rhs)
-     | Ast.Field (base, field), (ASSIGN, _) ->
+     | Ast.Field (base, field, pos), (ASSIGN, _) ->
        advance st;
        let rhs = parse_expr st in
        expect st SEMI;
-       Ast.Store (base, field, rhs)
+       Ast.Store (base, field, rhs, pos)
      | _, (SEMI, _) ->
        advance st;
        Ast.Expr e
-     | _, (tok, line) ->
+     | _, (tok, pos) ->
        raise
          (Parse_error
             {
-              line;
+              line = pos.Ast.line;
               message =
                 Printf.sprintf "expected ';' or '=', found %s" (token_label tok);
             }))
@@ -326,7 +326,7 @@ let parse_params st =
     more [ param () ]
 
 let parse source =
-  let st = { toks = Lexer.tokenize source } in
+  let st = { toks = Lexer.tokenize_pos source } in
   let structs = ref [] in
   let globals = ref [] in
   let funcs = ref [] in
@@ -367,11 +367,11 @@ let parse source =
           | SEMI, _ ->
             advance st;
             globals := (typ, name) :: !globals
-          | tok, line ->
+          | tok, pos ->
             raise
               (Parse_error
                  {
-                   line;
+                   line = pos.Ast.line;
                    message =
                      Printf.sprintf "expected '(' or ';', found %s"
                        (token_label tok);
@@ -392,16 +392,16 @@ let parse source =
        | SEMI, _ ->
          advance st;
          globals := (typ, name) :: !globals
-       | tok, line ->
+       | tok, pos ->
          raise
            (Parse_error
               {
-                line;
+                line = pos.Ast.line;
                 message =
                   Printf.sprintf "expected '(' or ';', found %s"
                     (token_label tok);
               }));
-      items ()
+       items ()
     | tok, _ ->
       error st (Printf.sprintf "unexpected %s at top level" (token_label tok))
   in

@@ -100,28 +100,28 @@ let iter_malloc_sites (program : Ast.program) visit =
       expr fname a;
       expr fname c
     | Ast.Unop (_, a) -> expr fname a
-    | Ast.Field (e, _) -> expr fname e
-    | Ast.Index (e, i) ->
+    | Ast.Field (e, _, _) -> expr fname e
+    | Ast.Index (e, i, _) ->
       expr fname e;
       expr fname i
-    | Ast.Malloc s | Ast.Pool_malloc (_, s) ->
+    | Ast.Malloc (s, p) | Ast.Pool_malloc (_, s, p) ->
       let site = !counter in
       incr counter;
-      visit ~site ~fname ~struct_name:s
-    | Ast.Malloc_array (s, count) | Ast.Pool_malloc_array (_, s, count) ->
+      visit ~site ~fname ~struct_name:s ~pos:p
+    | Ast.Malloc_array (s, count, p) | Ast.Pool_malloc_array (_, s, count, p) ->
       expr fname count;
       let site = !counter in
       incr counter;
-      visit ~site ~fname ~struct_name:s
+      visit ~site ~fname ~struct_name:s ~pos:p
     | Ast.Call (_, args) -> List.iter (expr fname) args
   in
   let rec stmt fname = function
     | Ast.Decl (_, _, init) -> Option.iter (expr fname) init
-    | Ast.Assign (_, e) | Ast.Print e | Ast.Expr e | Ast.Free e
-    | Ast.Pool_free (_, e)
+    | Ast.Assign (_, e) | Ast.Print e | Ast.Expr e | Ast.Free (e, _)
+    | Ast.Pool_free (_, e, _)
     | Ast.Return (Some e) ->
       expr fname e
-    | Ast.Store (e1, _, e2) ->
+    | Ast.Store (e1, _, e2, _) ->
       expr fname e1;
       expr fname e2
     | Ast.If (cond, t, f) ->
@@ -180,21 +180,21 @@ let analyze (program : Ast.program) =
     | Ast.Unop (_, a) ->
       ignore (eval fname a);
       fresh b
-    | Ast.Field (base, _) ->
+    | Ast.Field (base, _, _) ->
       let obj = target b (eval fname base) in
       field_node b obj
-    | Ast.Index (base, idx) ->
+    | Ast.Index (base, idx, _) ->
       (* Pointer arithmetic within the array: same value class. *)
       let v = eval fname base in
       ignore (eval fname idx);
       v
-    | Ast.Malloc_array (s, count) ->
+    | Ast.Malloc_array (s, count, p) ->
       ignore (eval fname count);
-      eval fname (Ast.Malloc s)
-    | Ast.Pool_malloc_array (_, s, count) ->
+      eval fname (Ast.Malloc (s, p))
+    | Ast.Pool_malloc_array (_, s, count, p) ->
       ignore (eval fname count);
-      eval fname (Ast.Malloc s)
-    | Ast.Malloc s | Ast.Pool_malloc (_, s) ->
+      eval fname (Ast.Malloc (s, p))
+    | Ast.Malloc (s, _) | Ast.Pool_malloc (_, s, _) ->
       let site = !site_counter in
       incr site_counter;
       let heap_node =
@@ -237,10 +237,10 @@ let analyze (program : Ast.program) =
        | Some e -> unify b n (eval fname e)
        | None -> ())
     | Ast.Assign (x, e) -> unify b (var_node b ~fname x) (eval fname e)
-    | Ast.Store (base, _, e) ->
+    | Ast.Store (base, _, e, _) ->
       let obj = target b (eval fname base) in
       unify b (field_node b obj) (eval fname e)
-    | Ast.Free e | Ast.Pool_free (_, e) -> ignore (eval fname e)
+    | Ast.Free (e, _) | Ast.Pool_free (_, e, _) -> ignore (eval fname e)
     | Ast.Print e | Ast.Expr e -> ignore (eval fname e)
     | Ast.Return (Some e) -> unify b (ret_node b fname) (eval fname e)
     | Ast.Return None | Ast.Pool_init _ | Ast.Pool_destroy _ -> ()
@@ -363,8 +363,8 @@ let rec expr_value_class t ~fname = function
   | Ast.Pool_malloc _ | Ast.Malloc_array _ | Ast.Pool_malloc_array _ ->
     None
   | Ast.Var x -> var_class t ~fname x
-  | Ast.Index (base, _) -> expr_value_class t ~fname base
-  | Ast.Field (base, _) ->
+  | Ast.Index (base, _, _) -> expr_value_class t ~fname base
+  | Ast.Field (base, _, _) ->
     Option.bind (expr_pointee_class t ~fname base) (field_class t)
   | Ast.Call (g, _) -> ret_class t g
 

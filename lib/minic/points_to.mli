@@ -40,10 +40,14 @@ val struct_hint : t -> class_id -> string option
 val class_count : t -> int
 
 val iter_malloc_sites :
-  Ast.program -> (site:int -> fname:string -> struct_name:string -> unit) -> unit
+  Ast.program ->
+  (site:int -> fname:string -> struct_name:string -> pos:Ast.pos -> unit) ->
+  unit
 (** Visit every malloc site in deterministic program order, assigning
     the site numbering shared between analysis and transform: functions
-    in program order, statements in order, expressions left-to-right. *)
+    in program order, statements in order, expressions left-to-right.
+    [pos] is the source position the site carries ({!Ast.no_pos} for
+    programmatically built ASTs). *)
 
 val expr_value_class : t -> fname:string -> Ast.expr -> class_id option
 (** Class of the pointer {e value} an expression evaluates to

@@ -24,23 +24,23 @@ module C = Set.Make (Int)
 
 let rec calls_in_expr acc = function
   | Ast.Int _ | Ast.Null | Ast.Var _ | Ast.Malloc _ | Ast.Pool_malloc _ -> acc
-  | Ast.Binop (_, a, b) | Ast.Index (a, b) ->
+  | Ast.Binop (_, a, b) | Ast.Index (a, b, _) ->
     calls_in_expr (calls_in_expr acc a) b
-  | Ast.Unop (_, a) | Ast.Field (a, _) | Ast.Malloc_array (_, a)
-  | Ast.Pool_malloc_array (_, _, a) ->
+  | Ast.Unop (_, a) | Ast.Field (a, _, _) | Ast.Malloc_array (_, a, _)
+  | Ast.Pool_malloc_array (_, _, a, _) ->
     calls_in_expr acc a
   | Ast.Call (g, args) -> List.fold_left calls_in_expr (S.add g acc) args
 
 let rec calls_in_stmt acc = function
   | Ast.Decl (_, _, Some e)
   | Ast.Assign (_, e)
-  | Ast.Free e
-  | Ast.Pool_free (_, e)
+  | Ast.Free (e, _)
+  | Ast.Pool_free (_, e, _)
   | Ast.Print e
   | Ast.Expr e
   | Ast.Return (Some e) ->
     calls_in_expr acc e
-  | Ast.Store (a, _, b) -> calls_in_expr (calls_in_expr acc a) b
+  | Ast.Store (a, _, b, _) -> calls_in_expr (calls_in_expr acc a) b
   | Ast.If (c, t, f) ->
     let acc = calls_in_expr acc c in
     List.fold_left calls_in_stmt (List.fold_left calls_in_stmt acc t) f
@@ -98,7 +98,7 @@ let users_of_classes pt (program : Ast.program) =
     in
     cell := S.add fname !cell
   in
-  Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name:_ ->
+  Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name:_ ~pos:_ ->
       add (Points_to.site_class pt site) fname);
   let note_field fname base =
     match Points_to.expr_pointee_class pt ~fname base with
@@ -110,17 +110,18 @@ let users_of_classes pt (program : Ast.program) =
     | Ast.Binop (_, a, b) ->
       expr fname a;
       expr fname b
-    | Ast.Unop (_, a) | Ast.Malloc_array (_, a) | Ast.Pool_malloc_array (_, _, a)
-      ->
+    | Ast.Unop (_, a)
+    | Ast.Malloc_array (_, a, _)
+    | Ast.Pool_malloc_array (_, _, a, _) ->
       expr fname a
-    | Ast.Index (base, idx) ->
+    | Ast.Index (base, idx, _) ->
       (* Element access keeps the object class in use. *)
       (match Points_to.expr_pointee_class pt ~fname base with
        | Some c -> add c fname
        | None -> ());
       expr fname base;
       expr fname idx
-    | Ast.Field (base, _) ->
+    | Ast.Field (base, _, _) ->
       note_field fname base;
       expr fname base
     | Ast.Call (_, args) -> List.iter (expr fname) args
@@ -132,12 +133,12 @@ let users_of_classes pt (program : Ast.program) =
     | Ast.Expr e
     | Ast.Return (Some e) ->
       expr fname e
-    | Ast.Free e | Ast.Pool_free (_, e) ->
+    | Ast.Free (e, _) | Ast.Pool_free (_, e, _) ->
       (match Points_to.expr_pointee_class pt ~fname e with
        | Some c -> add c fname
        | None -> ());
       expr fname e
-    | Ast.Store (base, _, e) ->
+    | Ast.Store (base, _, e, _) ->
       note_field fname base;
       expr fname base;
       expr fname e
@@ -233,10 +234,10 @@ let compute_needed pt (program : Ast.program) owners =
       Hashtbl.replace direct fname (C.add c cur)
     end
   in
-  Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name:_ ->
+  Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name:_ ~pos:_ ->
       add fname (Points_to.site_class pt site));
   let rec frees fname = function
-    | Ast.Free e | Ast.Pool_free (_, e) ->
+    | Ast.Free (e, _) | Ast.Pool_free (_, e, _) ->
       (match Points_to.expr_pointee_class pt ~fname e with
        | Some c -> add fname c
        | None -> ())
@@ -315,12 +316,12 @@ let transform (program : Ast.program) =
       let b = rewrite_expr fname b in
       Ast.Binop (op, a, b)
     | Ast.Unop (op, a) -> Ast.Unop (op, rewrite_expr fname a)
-    | Ast.Field (base, f) -> Ast.Field (rewrite_expr fname base, f)
-    | Ast.Index (base, idx) ->
+    | Ast.Field (base, f, p) -> Ast.Field (rewrite_expr fname base, f, p)
+    | Ast.Index (base, idx, p) ->
       let base = rewrite_expr fname base in
       let idx = rewrite_expr fname idx in
-      Ast.Index (base, idx)
-    | Ast.Malloc_array (s, count) | Ast.Pool_malloc_array (_, s, count) ->
+      Ast.Index (base, idx, p)
+    | Ast.Malloc_array (s, count, p) | Ast.Pool_malloc_array (_, s, count, p) ->
       (* Site numbering: the count subexpression is visited first, then
          this site — mirroring the analysis traversal. *)
       let count = rewrite_expr fname count in
@@ -328,12 +329,12 @@ let transform (program : Ast.program) =
       incr site_counter;
       incr sites_rewritten;
       Ast.Pool_malloc_array
-        (pool_var_name (Points_to.site_class pt site), s, count)
-    | Ast.Malloc s | Ast.Pool_malloc (_, s) ->
+        (pool_var_name (Points_to.site_class pt site), s, count, p)
+    | Ast.Malloc (s, p) | Ast.Pool_malloc (_, s, p) ->
       let site = !site_counter in
       incr site_counter;
       incr sites_rewritten;
-      Ast.Pool_malloc (pool_var_name (Points_to.site_class pt site), s)
+      Ast.Pool_malloc (pool_var_name (Points_to.site_class pt site), s, p)
     | Ast.Call (g, args) ->
       let args = List.map (rewrite_expr fname) args in
       let extra = List.map (fun pv -> Ast.Var pv) (pool_params_of g) in
@@ -344,17 +345,17 @@ let transform (program : Ast.program) =
     | Ast.Decl (t, x, init) ->
       [ Ast.Decl (t, x, Option.map (rewrite_expr fname) init) ]
     | Ast.Assign (x, e) -> [ Ast.Assign (x, rewrite_expr fname e) ]
-    | Ast.Store (base, f, e) ->
+    | Ast.Store (base, f, e, p) ->
       let base = rewrite_expr fname base in
       let e = rewrite_expr fname e in
-      [ Ast.Store (base, f, e) ]
-    | Ast.Free e | Ast.Pool_free (_, e) ->
+      [ Ast.Store (base, f, e, p) ]
+    | Ast.Free (e, p) | Ast.Pool_free (_, e, p) ->
       let e = rewrite_expr fname e in
       (match Points_to.expr_pointee_class pt ~fname e with
        | Some c when C.mem c pool_classes ->
          incr frees_rewritten;
-         [ Ast.Pool_free (pool_var_name c, e) ]
-       | Some _ | None -> [ Ast.Free e ])
+         [ Ast.Pool_free (pool_var_name c, e, p) ]
+       | Some _ | None -> [ Ast.Free (e, p) ])
     | Ast.Print e -> [ Ast.Print (rewrite_expr fname e) ]
     | Ast.Expr e -> [ Ast.Expr (rewrite_expr fname e) ]
     | Ast.Return e ->

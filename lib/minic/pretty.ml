@@ -17,14 +17,14 @@ let rec expr_to_string = function
       (expr_to_string b)
   | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
   | Ast.Unop (Ast.Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
-  | Ast.Field (e, f) -> Printf.sprintf "%s->%s" (expr_to_string e) f
-  | Ast.Malloc s -> Printf.sprintf "malloc(struct %s)" s
-  | Ast.Malloc_array (s, n) ->
+  | Ast.Field (e, f, _) -> Printf.sprintf "%s->%s" (expr_to_string e) f
+  | Ast.Malloc (s, _) -> Printf.sprintf "malloc(struct %s)" s
+  | Ast.Malloc_array (s, n, _) ->
     Printf.sprintf "malloc(struct %s, %s)" s (expr_to_string n)
-  | Ast.Pool_malloc (pv, s) -> Printf.sprintf "poolalloc(%s, struct %s)" pv s
-  | Ast.Pool_malloc_array (pv, s, n) ->
+  | Ast.Pool_malloc (pv, s, _) -> Printf.sprintf "poolalloc(%s, struct %s)" pv s
+  | Ast.Pool_malloc_array (pv, s, n, _) ->
     Printf.sprintf "poolalloc(%s, struct %s, %s)" pv s (expr_to_string n)
-  | Ast.Index (e, i) ->
+  | Ast.Index (e, i, _) ->
     Printf.sprintf "%s[%s]" (expr_to_string e) (expr_to_string i)
   | Ast.Call (g, args) ->
     Printf.sprintf "%s(%s)" g (String.concat ", " (List.map expr_to_string args))
@@ -36,10 +36,10 @@ let rec stmt_lines indent stmt =
   | Ast.Decl (t, x, Some e) ->
     [ Printf.sprintf "%s%s %s = %s;" pad (typ_to_string t) x (expr_to_string e) ]
   | Ast.Assign (x, e) -> [ Printf.sprintf "%s%s = %s;" pad x (expr_to_string e) ]
-  | Ast.Store (b, f, e) ->
+  | Ast.Store (b, f, e, _) ->
     [ Printf.sprintf "%s%s->%s = %s;" pad (expr_to_string b) f (expr_to_string e) ]
-  | Ast.Free e -> [ Printf.sprintf "%sfree(%s);" pad (expr_to_string e) ]
-  | Ast.Pool_free (pv, e) ->
+  | Ast.Free (e, _) -> [ Printf.sprintf "%sfree(%s);" pad (expr_to_string e) ]
+  | Ast.Pool_free (pv, e, _) ->
     [ Printf.sprintf "%spoolfree(%s, %s);" pad pv (expr_to_string e) ]
   | Ast.Print e -> [ Printf.sprintf "%sprint(%s);" pad (expr_to_string e) ]
   | Ast.Expr e -> [ Printf.sprintf "%s%s;" pad (expr_to_string e) ]

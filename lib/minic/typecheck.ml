@@ -25,23 +25,24 @@ let rec expr_type program env expr =
   | Ast.Unop (_, a) ->
     ignore (expr_type program env a);
     Some Ast.Tint
-  | Ast.Field (base, fname) ->
+  | Ast.Field (base, fname, _) ->
     (match expr_type program env base with
      | Some (Ast.Tptr sname) -> Some (field_type program sname fname)
      | Some Ast.Tint -> fail "-> applied to an int (field %s)" fname
      | None -> fail "-> applied to a void/null expression (field %s)" fname)
-  | Ast.Malloc sname | Ast.Pool_malloc (_, sname) ->
+  | Ast.Malloc (sname, _) | Ast.Pool_malloc (_, sname, _) ->
     if not (List.mem_assoc sname program.Ast.structs) then
       fail "malloc of unknown struct %s" sname;
     Some (Ast.Tptr sname)
-  | Ast.Malloc_array (sname, count) | Ast.Pool_malloc_array (_, sname, count) ->
+  | Ast.Malloc_array (sname, count, _)
+  | Ast.Pool_malloc_array (_, sname, count, _) ->
     if not (List.mem_assoc sname program.Ast.structs) then
       fail "malloc of unknown struct %s" sname;
     (match expr_type program env count with
      | Some Ast.Tint -> ()
      | Some (Ast.Tptr _) | None -> fail "array count must be an int");
     Some (Ast.Tptr sname)
-  | Ast.Index (base, idx) ->
+  | Ast.Index (base, idx, _) ->
     (match expr_type program env idx with
      | Some Ast.Tint -> ()
      | Some (Ast.Tptr _) | None -> fail "array index must be an int");
@@ -82,13 +83,13 @@ and check_stmt program ret_typ env stmt =
     if not (List.mem_assoc name env) then fail "assignment to undeclared %s" name;
     ignore (expr_type program env e);
     env
-  | Ast.Store (base, fname, e) ->
+  | Ast.Store (base, fname, e, _) ->
     (match expr_type program env base with
      | Some (Ast.Tptr sname) -> ignore (field_type program sname fname)
      | Some Ast.Tint | None -> fail "field store through non-pointer");
     ignore (expr_type program env e);
     env
-  | Ast.Free e | Ast.Pool_free (_, e) ->
+  | Ast.Free (e, _) | Ast.Pool_free (_, e, _) ->
     (match expr_type program env e with
      | Some (Ast.Tptr _) | None -> ()
      | Some Ast.Tint -> fail "free of an int expression");

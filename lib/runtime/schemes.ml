@@ -220,6 +220,81 @@ let shadow_pool_spatial ?(bounds_check_cost = 6) machine =
         base.Scheme.store addr ~width v);
   }
 
+type elision_stats = {
+  elided_allocs : int;
+  elided_frees : int;
+  protected_allocs : int;
+  protected_frees : int;
+}
+
+(* Shadow-pool with a per-malloc-site protection policy from the static
+   analysis: sites whose every use is provably Safe take the canonical
+   allocation path (no shadow alias, no mremap/mprotect), everything
+   else — including position-less sites the policy cannot vouch for —
+   keeps the full scheme, so detection at May/Must sites is unchanged. *)
+let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
+  let registry = Shadow.Object_registry.create () in
+  let recycler = Apa.Page_recycler.create () in
+  let make_pool ?elem_size () =
+    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler ~registry
+      machine
+  in
+  let elided_allocs = ref 0 in
+  let elided_frees = ref 0 in
+  let protected_allocs = ref 0 in
+  let protected_frees = ref 0 in
+  let wrap_pool pool =
+    {
+      Scheme.pool_alloc =
+        (fun ?(site = "<unknown>") size ->
+          if elide site then begin
+            let a = Shadow.Shadow_pool.alloc_elided pool size in
+            incr elided_allocs;
+            trace_malloc machine site size a;
+            a
+          end
+          else begin
+            incr protected_allocs;
+            Shadow.Shadow_pool.alloc pool ~site size
+          end);
+      pool_free =
+        (fun ?site a ->
+          if Shadow.Shadow_pool.free_elided pool a then begin
+            incr elided_frees;
+            trace_free machine (Option.value site ~default:"<unknown>") a
+          end
+          else begin
+            incr protected_frees;
+            Shadow.Shadow_pool.free pool ?site a
+          end);
+      pool_destroy = (fun () -> Shadow.Shadow_pool.destroy pool);
+    }
+  in
+  let global_handle = wrap_pool (make_pool ()) in
+  let scheme =
+    {
+      Scheme.name = "shadow-pool+static";
+      machine;
+      malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+      free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+      load = guarded_load machine registry;
+      store = guarded_store machine registry;
+      pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+      compute = compute_direct machine;
+      extra_memory_bytes = (fun () -> 0);
+      guarantees_detection = true;
+    }
+  in
+  let stats () =
+    {
+      elided_allocs = !elided_allocs;
+      elided_frees = !elided_frees;
+      protected_allocs = !protected_allocs;
+      protected_frees = !protected_frees;
+    }
+  in
+  (scheme, stats)
+
 let lookup_side_table (scheme : Scheme.t) =
   List.assq_opt scheme.Scheme.machine !global_pools
 

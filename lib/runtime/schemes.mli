@@ -34,6 +34,27 @@ val shadow_pool_recycler : Scheme.t -> Apa.Page_recycler.t option
 (** The shared page free list behind a {!shadow_pool} scheme (for the
     §4.3 address-space measurements). *)
 
+type elision_stats = {
+  elided_allocs : int;  (** allocations served without a shadow alias *)
+  elided_frees : int;   (** frees that skipped [mprotect] *)
+  protected_allocs : int;
+  protected_frees : int;
+}
+
+val shadow_pool_static :
+  ?reuse_shadow_va:bool ->
+  elide:(string -> bool) ->
+  Vmm.Machine.t ->
+  Scheme.t * (unit -> elision_stats)
+(** {!shadow_pool} driven by a static per-malloc-site protection policy
+    (see [Minic.Dangling.elide_policy]): when [elide site] is true the
+    allocation is served from the canonical pages with no shadow alias —
+    no [mremap] at alloc, no [mprotect] at free — because the analysis
+    proved every use of that site's class Safe.  All other sites,
+    including any the policy does not recognise, keep the full scheme,
+    so detection at May/Must sites is exactly as in {!shadow_pool}.
+    The second component reports aggregate elision counts. *)
+
 val shadow_pool_spatial :
   ?bounds_check_cost:int -> Vmm.Machine.t -> Scheme.t
 (** The paper's future-work "comprehensive safety checking tool":

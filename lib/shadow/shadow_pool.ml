@@ -11,6 +11,9 @@ type t = {
   heap : Shadow_heap.t;
   recycler : Apa.Page_recycler.t option;
   shadow_ranges : (Addr.t, int * range_state) Hashtbl.t; (* base -> pages, state *)
+  elided_live : (Addr.t, int) Hashtbl.t; (* addr -> size, statically-safe blocks *)
+  mutable elided_allocs : int;
+  mutable elided_frees : int;
   mutable destroyed : bool;
 }
 
@@ -42,7 +45,18 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
       ~allocator:(Apa.Pool.as_allocator pool)
       machine
   in
-  { machine; registry; pool; heap; recycler; shadow_ranges; destroyed = false }
+  {
+    machine;
+    registry;
+    pool;
+    heap;
+    recycler;
+    shadow_ranges;
+    elided_live = Hashtbl.create 64;
+    elided_allocs = 0;
+    elided_frees = 0;
+    destroyed = false;
+  }
 
 let check_usable t name =
   if t.destroyed then
@@ -93,6 +107,33 @@ let dealloc_raw t addr =
   check_usable t "free";
   Apa.Pool.dealloc t.pool addr
 
+(* Statically-elided allocation: the analysis proved every use of this
+   site's class Safe, so the object lives on its canonical page with no
+   shadow alias — no mremap on alloc, no mprotect on free.  The block is
+   remembered so [free_elided] can tell these objects apart from
+   protected ones and so a double free of one still trips the shadow
+   path (the second free falls through and the registry rejects it). *)
+let alloc_elided t size =
+  check_usable t "alloc";
+  let addr = Apa.Pool.alloc t.pool size in
+  Hashtbl.replace t.elided_live addr size;
+  t.elided_allocs <- t.elided_allocs + 1;
+  addr
+
+let free_elided t addr =
+  check_usable t "free";
+  match Hashtbl.find_opt t.elided_live addr with
+  | Some _ ->
+    Hashtbl.remove t.elided_live addr;
+    Apa.Pool.dealloc t.pool addr;
+    t.elided_frees <- t.elided_frees + 1;
+    true
+  | None -> false
+
+let elided_allocs t = t.elided_allocs
+let elided_frees t = t.elided_frees
+let elided_live_blocks t = Hashtbl.length t.elided_live
+
 let size_of t user = Shadow_heap.size_of t.heap user
 
 let release_range t base pages =
@@ -107,6 +148,7 @@ let destroy t =
   Hashtbl.iter (fun base (pages, _state) -> release_range t base pages)
     t.shadow_ranges;
   Hashtbl.reset t.shadow_ranges;
+  Hashtbl.reset t.elided_live;
   Apa.Pool.destroy t.pool
 
 let reclaim_freed_shadow t =

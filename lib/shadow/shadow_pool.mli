@@ -55,6 +55,29 @@ val alloc_raw : t -> int -> Vmm.Addr.t
 val dealloc_raw : t -> Vmm.Addr.t -> unit
 (** Free a block obtained from {!alloc_raw}. *)
 
+val alloc_elided : t -> int -> Vmm.Addr.t
+(** Allocation for a site the static analysis proved Safe: canonical
+    page only, no shadow alias, no [mremap] — and therefore no
+    detection for this object.  Sound only when every use of the
+    site's points-to class has a Safe verdict (see [Minic.Dangling]).
+    The block is tracked so {!free_elided} recognises it. *)
+
+val free_elided : t -> Vmm.Addr.t -> bool
+(** [free_elided t addr] frees [addr] if it was obtained from
+    {!alloc_elided} and returns [true]; returns [false] (doing
+    nothing) otherwise, so the caller falls through to the protected
+    {!free} path — a double free of an elided block thus still raises
+    through the object registry. *)
+
+val elided_allocs : t -> int
+(** Allocations served by {!alloc_elided} over the pool's lifetime. *)
+
+val elided_frees : t -> int
+(** Frees served by {!free_elided} over the pool's lifetime. *)
+
+val elided_live_blocks : t -> int
+(** Elided blocks currently live. *)
+
 val destroy : t -> unit
 (** [pooldestroy]: recycle (or unmap) all canonical and shadow ranges and
     drop their diagnostic records. *)

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Source-hygiene gate for the core libraries: no new bare `failwith` or
+# `assert false` in lib/vmm, lib/shadow or lib/minic.  An occurrence is
+# allowed only when it names the invariant it guards within three lines
+# (the convention every existing call site follows); anything else
+# should be a typed error the caller can handle.  Run by `make lint-src`
+# and CI; exits 1 listing every offender.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in $(find lib/vmm lib/shadow lib/minic -name '*.ml' | sort); do
+  bad=$(awk '
+    { lines[NR] = $0 }
+    /failwith|assert false/ { cand[NR] = 1 }
+    END {
+      for (n in cand) {
+        ok = 0
+        for (i = n - 3; i <= n + 3; i++)
+          if (i in lines && lines[i] ~ /invariant/) ok = 1
+        if (!ok)
+          print FILENAME ":" n \
+            ": bare failwith/assert false without a named invariant"
+      }
+    }' "$f")
+  if [ -n "$bad" ]; then
+    echo "$bad" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint-src: core libraries clean"
+fi
+exit "$fail"
