@@ -32,9 +32,10 @@ lint-smoke:
 	dune build bin/danguard.exe
 	dune exec bin/danguard.exe -- lint examples/lint/safe.mc
 	dune exec bin/danguard.exe -- lint examples/lint/may_alias.mc
+	dune exec bin/danguard.exe -- lint examples/lint/deep_free.mc
 	! dune exec bin/danguard.exe -- lint examples/lint/must_uaf.mc
 	! dune exec bin/danguard.exe -- lint examples/lint/double_free.mc
-	@for f in safe must_uaf may_alias double_free; do \
+	@for f in safe must_uaf may_alias double_free deep_free; do \
 	  rc=0; \
 	  dune exec bin/danguard.exe -- lint --json examples/lint/$$f.mc \
 	    > /tmp/lint.$$f.json || rc=$$?; \

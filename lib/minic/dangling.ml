@@ -341,6 +341,15 @@ let rec eval ctx fc st e : vinfo * astate =
               end
             end)
           argvs;
+        (* Callee frees are also frees of this function: union them into
+           our own summary so the effect propagates through arbitrarily
+           deep call chains. *)
+        let own = summary ctx fc.fname in
+        let merged = C.union own.may_free sm.may_free in
+        if not (C.equal merged own.may_free) then begin
+          own.may_free <- merged;
+          ctx.changed <- true
+        end;
         apply_may_free ctx ~fname:fc.fname st sm.may_free
     in
     let ret =

@@ -230,6 +230,31 @@ void main() {
   check_bool "site not elidable" true
     (site_verdicts r <> [ Minic.Dangling.Safe ])
 
+(* The free two call levels below the use (main -> kill2 -> kill ->
+   free): the may-free summary must propagate transitively through the
+   chain, not just one level (regression for a summary-union bug that
+   made these uses look Safe and the site elidable). *)
+let test_verdict_transitive_free () =
+  let r =
+    analyze
+      {|
+struct s { int v; }
+void kill(struct s *p) { free(p); }
+void kill2(struct s *p) { kill(p); }
+void kill3(struct s *p) { kill2(p); }
+void main() {
+  struct s *x = malloc(struct s);
+  x->v = 1;
+  kill3(x);
+  print(x->v);
+}
+|}
+  in
+  let _, may, must = counts r in
+  check_bool "deref after deep callee free flagged" true (may + must >= 1);
+  check_bool "site not elidable" true
+    (site_verdicts r <> [ Minic.Dangling.Safe ])
+
 (* Branch-dependent free: freed on one path only, so the use after the
    join is May, not Must. *)
 let test_verdict_branch_may () =
@@ -302,6 +327,7 @@ let test_roundtrip_examples () =
       ("examples/lint", "must_uaf.mc");
       ("examples/lint", "may_alias.mc");
       ("examples/lint", "double_free.mc");
+      ("examples/lint", "deep_free.mc");
     ]
 
 (* ---- golden files for `danguard lint --json` ---- *)
@@ -319,7 +345,7 @@ let test_lint_goldens () =
       check_string (name ^ " golden json")
         expected
         (Telemetry.Json.to_string_pretty (Minic.Diagnostics.to_json d) ^ "\n"))
-    [ "safe"; "must_uaf"; "may_alias"; "double_free" ]
+    [ "safe"; "must_uaf"; "may_alias"; "double_free"; "deep_free" ]
 
 let test_lint_exit_codes () =
   let code name =
@@ -329,6 +355,7 @@ let test_lint_exit_codes () =
   in
   check_int "safe exits 0" 0 (code "safe");
   check_int "may exits 0" 0 (code "may_alias");
+  check_int "deep free exits 0" 0 (code "deep_free");
   check_int "must exits 3" 3 (code "must_uaf");
   check_int "double free exits 3" 3 (code "double_free")
 
@@ -415,6 +442,51 @@ let gen_scalar_program ~iters ~seed ~bug =
   add "    i = i + 1;";
   add "  }";
   add "  print(acc);";
+  victim_tail b bug;
+  add "}";
+  Buffer.contents b
+
+(* Deep-release variant of the list program: the frees happen two call
+   levels below main (main -> release_outer -> release_inner -> free),
+   so only transitive may-free summaries can keep main's later uses
+   flagged.  Use_after_release is exactly the repro for the
+   one-level-only propagation bug. *)
+let gen_deep_free_program ~n ~seed ~bug =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  add "struct node { int v; struct node *next; }";
+  add "struct node *build(int n, int seed) {";
+  add "  struct node *head = null;";
+  add "  int i = 0;";
+  add "  while (i < n) {";
+  add "    struct node *fresh = malloc(struct node);";
+  add "    fresh->v = seed + i;";
+  add "    fresh->next = head;";
+  add "    head = fresh;";
+  add "    i = i + 1;";
+  add "  }";
+  add "  return head;";
+  add "}";
+  add "int total(struct node *head) {";
+  add "  int acc = 0;";
+  add "  struct node *cur = head;";
+  add "  while (cur != null) { acc = acc + cur->v; cur = cur->next; }";
+  add "  return acc;";
+  add "}";
+  add "void release_inner(struct node *head) {";
+  add "  struct node *cur = head;";
+  add "  while (cur != null) {";
+  add "    struct node *nxt = cur->next;";
+  add "    free(cur);";
+  add "    cur = nxt;";
+  add "  }";
+  add "}";
+  add "void release_outer(struct node *head) { release_inner(head); }";
+  add "void main() {";
+  add "  struct node *l0 = build(%d, %d);" n seed;
+  add "  print(total(l0));";
+  add "  release_outer(l0);";
+  if bug = Use_after_release then add "  print(total(l0));";
   victim_tail b bug;
   add "}";
   Buffer.contents b
@@ -513,6 +585,19 @@ let test_oracle () =
           bug)
       [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
   done;
+  for seed = 0 to 9 do
+    List.iter
+      (fun bug ->
+        let n = 1 + (seed mod 5) in
+        let ctx =
+          Printf.sprintf "deep n=%d seed=%d bug=%s" n seed (bug_label bug)
+        in
+        incr cases;
+        oracle_one ~ctx ~expect_elision:false
+          (gen_deep_free_program ~n ~seed ~bug)
+          bug)
+      [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
+  done;
   for seed = 0 to 33 do
     List.iter
       (fun bug ->
@@ -539,7 +624,9 @@ let test_roundtrip_generated () =
         check_bool "generated list program round-trips" true
           (roundtrip_ok (gen_list_program ~n:(1 + seed) ~seed ~bug));
         check_bool "generated scalar program round-trips" true
-          (roundtrip_ok (gen_scalar_program ~iters:(1 + seed) ~seed ~bug)))
+          (roundtrip_ok (gen_scalar_program ~iters:(1 + seed) ~seed ~bug));
+        check_bool "generated deep-free program round-trips" true
+          (roundtrip_ok (gen_deep_free_program ~n:(1 + seed) ~seed ~bug)))
       [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
   done
 
@@ -563,6 +650,8 @@ let () =
           Alcotest.test_case "loop freshness" `Quick test_verdict_loop_fresh;
           Alcotest.test_case "interprocedural free" `Quick
             test_verdict_interproc_free;
+          Alcotest.test_case "transitive free" `Quick
+            test_verdict_transitive_free;
           Alcotest.test_case "branch join may" `Quick test_verdict_branch_may;
           Alcotest.test_case "figure 1" `Quick test_verdict_figure1;
           Alcotest.test_case "typed layout errors" `Quick
