@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke faults-smoke lint-smoke lint-src check clean
+.PHONY: all build test bench bench-smoke faults-smoke farm-smoke lint-smoke lint-src check clean
 
 all: build
 
@@ -25,6 +25,12 @@ bench-smoke:
 # degradation window.
 faults-smoke:
 	dune exec bin/danguard.exe -- faults all --scale-divisor 8
+
+# Domain-sharded farm smoke: 2 shards over a small probed connection
+# set; nonzero exit if the farm or scheduler misbehaves (the totals
+# contract itself is enforced by test/test_farm.ml and bench-smoke).
+farm-smoke:
+	dune exec bin/danguard.exe -- farm ghttpd --shards 2 -c 12 --probe-every 4
 
 # Static-analysis CLI smoke: exit codes (0 clean/may, 3 must-UAF) and
 # the machine-readable output pinned by the golden files.
@@ -58,6 +64,7 @@ check:
 	$(MAKE) lint-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) faults-smoke
+	$(MAKE) farm-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,59 @@
+(* Farm scaling study: the same connection set served at 1/2/4/8 shards.
+   Time is simulated cycles (makespan = busiest shard), so the speedup
+   column measures the sharding itself and is exactly reproducible on
+   any host.  The determinism contract is checked right here: merged
+   detections and syscalls must not move as the shard count changes. *)
+
+module J = Telemetry.Json
+module F = Danguard_farm.Farm
+module Scheduler = Danguard_farm.Scheduler
+
+let shard_counts = [ 1; 2; 4; 8 ]
+let seed = 0x5eed
+let probe_every = 8
+
+let run ~smoke () =
+  print_endline "\n== Farm scaling (domain-sharded ghttpd, simulated cycles) ==";
+  let connections = if smoke then 32 else 96 in
+  let results =
+    List.map
+      (fun shards ->
+        F.run_server ~policy:Scheduler.Round_robin ~seed ~probe_every
+          ~config:Harness.Experiment.Ours ~shards ~connections
+          Workload.Servers.ghttpd)
+      shard_counts
+  in
+  let base = List.hd results in
+  Printf.printf "  %-7s %14s %12s %8s %11s %9s %12s\n" "shards" "makespan"
+    "conn/Mcyc" "speedup" "detections" "syscalls" "p99 cycles";
+  let rows =
+    List.map
+      (fun (r : F.result) ->
+        let speedup = base.F.makespan_cycles /. r.F.makespan_cycles in
+        Printf.printf "  %-7d %14.0f %12.3f %8.2fx %11d %9d %12.0f\n"
+          r.F.shards r.F.makespan_cycles r.F.throughput speedup
+          r.F.totals.F.detections r.F.totals.F.syscalls
+          r.F.latency.Harness.Latency.q99;
+        J.Obj
+          [
+            ("shards", J.Int r.F.shards);
+            ("makespan_cycles", J.Float r.F.makespan_cycles);
+            ("throughput_conn_per_mcycle", J.Float r.F.throughput);
+            ("speedup", J.Float speedup);
+            ("connections", J.Int r.F.totals.F.connections);
+            ("detections", J.Int r.F.totals.F.detections);
+            ("syscalls", J.Int r.F.totals.F.syscalls);
+            ("latency_p50", J.Float r.F.latency.Harness.Latency.q50);
+            ("latency_p99", J.Float r.F.latency.Harness.Latency.q99);
+          ])
+      results
+  in
+  J.Obj
+    [
+      ("server", J.String "ghttpd");
+      ("config", J.String "our-approach");
+      ("connections", J.Int connections);
+      ("probe_every", J.Int probe_every);
+      ("seed", J.Int seed);
+      ("rows", J.List rows);
+    ]

@@ -133,7 +133,11 @@ let run_exhaustion () =
   let run_policy strategy =
     let m = Vmm.Machine.create () in
     let scheme = Runtime.Schemes.shadow_pool m in
-    let pool = Option.get (Runtime.Schemes.shadow_pool_global scheme) in
+    let pool =
+      match Runtime.Schemes.introspect scheme with
+      | Runtime.Schemes.Shadow_pool { global; _ } -> global
+      | _ -> assert false
+    in
     let policy = Shadow.Reuse_policy.create strategy pool in
     for i = 1 to 2_000 do
       let a = scheme.Runtime.Scheme.malloc ~site:"request" 64 in
@@ -430,7 +434,7 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~static_elision ~resilience =
+    ~static_elision ~resilience ~farm =
   let doc =
     J.Obj
       [
@@ -448,6 +452,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
         ("fastpath", fastpath);
         ("static_elision", static_elision);
         ("resilience", resilience);
+        ("farm", farm);
       ]
   in
   Out_channel.with_open_text out (fun oc ->
@@ -494,6 +499,7 @@ let () =
   run_ablations ();
   let fastpath = Fastpath.run ~smoke:!smoke () in
   let static_elision = Static_elision.run () in
+  let farm = Farm.run ~smoke:!smoke () in
   let bechamel =
     match Sys.getenv_opt "SKIP_BECHAMEL" with
     | Some _ ->
@@ -509,5 +515,6 @@ let () =
         ("table3", Harness.Table3.to_json t3);
       ]
     ~costs ~bechamel ~fastpath ~static_elision
-    ~resilience:(Harness.Resilience.to_json resilience);
+    ~resilience:(Harness.Resilience.to_json resilience)
+    ~farm;
   print_endline "\nAll sections complete."

@@ -256,12 +256,18 @@ let run () =
         let result, transformed = analyze_and_transform source in
         let stats_box = ref None in
         let static_scheme machine =
-          let scheme, stats =
+          let scheme =
             Runtime.Schemes.shadow_pool_static
               ~elide:(Minic.Dangling.elide_policy result)
               machine
           in
-          (scheme, fun () -> stats_box := Some (stats ()))
+          let finish () =
+            match Runtime.Schemes.introspect scheme with
+            | Runtime.Schemes.Shadow_pool_static { elision; _ } ->
+              stats_box := Some (elision ())
+            | _ -> assert false
+          in
+          (scheme, finish)
         in
         let full = run_under transformed full_scheme in
         let static = run_under transformed static_scheme in
@@ -313,12 +319,18 @@ let run () =
         let result, transformed = analyze_and_transform source in
         let stats_box = ref None in
         let static_scheme machine =
-          let scheme, stats =
+          let scheme =
             Runtime.Schemes.shadow_pool_static
               ~elide:(Minic.Dangling.elide_policy result)
               machine
           in
-          (scheme, fun () -> stats_box := Some (stats ()))
+          let finish () =
+            match Runtime.Schemes.introspect scheme with
+            | Runtime.Schemes.Shadow_pool_static { elision; _ } ->
+              stats_box := Some (elision ())
+            | _ -> assert false
+          in
+          (scheme, finish)
         in
         let static = run_under transformed static_scheme in
         let detected = static.violations <> [] in

@@ -151,6 +151,50 @@ let () =
   (match member "resilience.summary" summary "ok" with
   | J.Bool true -> ()
   | _ -> fail "resilience.summary.ok is not true");
+  (* Farm scaling: rows for 1/2/4/8 shards; sharding must pay (>= 2x
+     simulated throughput at 4 shards) without perturbing the merged
+     totals — detections and syscalls are the determinism contract. *)
+  let farm = member "" doc "farm" in
+  let farm_rows = non_empty_list "farm.rows" (member "farm" farm "rows") in
+  let farm_int row k =
+    match member "farm.rows[]" row k with
+    | J.Int n -> n
+    | _ -> fail "farm.rows[].%s is not an int" k
+  in
+  let farm_float row k =
+    match member "farm.rows[]" row k with
+    | J.Float f -> f
+    | J.Int n -> float_of_int n
+    | _ -> fail "farm.rows[].%s is not a number" k
+  in
+  let throughput_at shards =
+    match
+      List.find_opt (fun row -> farm_int row "shards" = shards) farm_rows
+    with
+    | Some row -> farm_float row "throughput_conn_per_mcycle"
+    | None -> fail "farm has no row for %d shards" shards
+  in
+  let t1 = throughput_at 1 in
+  List.iter (fun s -> ignore (throughput_at s)) [ 2; 4; 8 ];
+  if throughput_at 4 < 2.0 *. t1 then
+    fail "farm at 4 shards is under 2x single-shard throughput (%.3f vs %.3f)"
+      (throughput_at 4) t1;
+  (match farm_rows with
+   | base :: rest ->
+     let d0 = farm_int base "detections" and s0 = farm_int base "syscalls" in
+     if d0 <= 0 then fail "farm recorded no detections (probes missing?)";
+     List.iter
+       (fun row ->
+         if farm_int row "detections" <> d0 then
+           fail "farm detections differ across shard counts (%d vs %d)"
+             (farm_int row "detections") d0;
+         if farm_int row "syscalls" <> s0 then
+           fail "farm syscalls differ across shard counts (%d vs %d)"
+             (farm_int row "syscalls") s0)
+       rest
+   | [] -> ());
   Printf.printf
-    "validate: %s OK (%d fastpath rows, %d elision rows, %d resilience rows)\n"
+    "validate: %s OK (%d fastpath rows, %d elision rows, %d resilience rows, \
+     %d farm rows)\n"
     file (List.length rows) (List.length se_rows) (List.length res_rows)
+    (List.length farm_rows)

@@ -1,17 +1,20 @@
-(* danguard: command-line front end to the reproduction.
-
-   Subcommands:
-     table <1|2|3>   regenerate a paper table
-     addr-space      the §4.3 per-connection address-space study
-     detect          the detection-guarantee matrix
-     faults          the syscall fault-injection / degradation campaign
-     exhaustion      the §3.4 analytic model
-     run             run one workload under one scheme and print stats
-     compile         run the MiniC pipeline on a source file
-     demo            a 30-second tour of the detector *)
+(* danguard: command-line front end to the reproduction.  Run
+   `danguard help` for the generated subcommand index. *)
 
 open Cmdliner
 module J = Telemetry.Json
+
+(* Every subcommand registers through [cmd], so the group and the
+   generated `danguard help` index can never drift apart. *)
+let command_index : (string * string) list ref = ref []
+
+let cmd name ~doc term =
+  command_index := !command_index @ [ (name, doc) ];
+  Cmd.v (Cmd.info name ~doc) term
+
+(* ---- shared flag specs ----
+   One definition per recurring flag, so spelling, docv and defaults are
+   identical across subcommands. *)
 
 let scheme_names =
   [
@@ -44,6 +47,15 @@ let scale_divisor_arg =
 let json_arg =
   let doc = "Emit machine-readable JSON instead of table text." in
   Arg.(value & flag & info [ "json" ] ~doc)
+
+let seed_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"S" ~doc)
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scale" ] ~docv:"N" ~doc:"Override the workload scale.")
 
 (* ---- table ---- *)
 
@@ -83,8 +95,7 @@ let table_cmd =
       `Ok ()
     | n -> `Error (false, Printf.sprintf "no table %d (expected 1, 2 or 3)" n)
   in
-  Cmd.v
-    (Cmd.info "table" ~doc:"Regenerate a table from the paper's evaluation.")
+  cmd "table" ~doc:"Regenerate a table from the paper's evaluation."
     Term.(ret (const run $ which $ scale_divisor_arg $ json_arg))
 
 (* ---- addr-space ---- *)
@@ -97,9 +108,7 @@ let addr_space_cmd =
   let run connections =
     print_endline (Harness.Addr_space.render (Harness.Addr_space.rows ?connections ()))
   in
-  Cmd.v
-    (Cmd.info "addr-space"
-       ~doc:"Per-connection virtual-address usage of the five servers (§4.3).")
+  cmd "addr-space" ~doc:"Per-connection virtual-address usage of the five servers (§4.3)."
     Term.(const run $ connections)
 
 (* ---- detect ---- *)
@@ -123,9 +132,7 @@ let detect_cmd =
           ())
       cells
   in
-  Cmd.v
-    (Cmd.info "detect"
-       ~doc:"Run every injected temporal-error scenario under every scheme.")
+  cmd "detect" ~doc:"Run every injected temporal-error scenario under every scheme."
     Term.(const run $ const ())
 
 (* ---- faults ---- *)
@@ -136,10 +143,7 @@ let faults_cmd =
          & info [] ~docv:"WORKLOAD"
              ~doc:"Olden workload name, or $(b,all) for the whole campaign.")
   in
-  let seed =
-    Arg.(value & opt int 0x5eed
-         & info [ "seed" ] ~docv:"S" ~doc:"Fault-plan PRNG seed.")
-  in
+  let seed = seed_arg ~default:0x5eed ~doc:"Fault-plan PRNG seed." in
   let run target divisor seed json =
     let workloads =
       if target = "all" then Some Workload.Catalog.olden
@@ -164,13 +168,11 @@ let faults_cmd =
             "resilience invariants violated (undiagnosed crash or \
              unattributed detection miss)" )
   in
-  Cmd.v
-    (Cmd.info "faults"
-       ~doc:"Syscall fault-injection campaign against the governed \
+  cmd "faults" ~doc:"Syscall fault-injection campaign against the governed \
              shadow-page runtime: sweeps deterministic fault plans over the \
              Olden workloads and checks that no failure is undiagnosed and \
              every detection miss is attributable to a recorded degradation \
-             window.")
+             window."
     Term.(ret (const run $ target $ scale_divisor_arg $ seed $ json_arg))
 
 (* ---- exhaustion ---- *)
@@ -193,8 +195,7 @@ let exhaustion_cmd =
          ~va_bytes:(2. ** float_of_int bits)
          ~page_bytes:4096 ~pages_per_second:rate)
   in
-  Cmd.v
-    (Cmd.info "exhaustion" ~doc:"The §3.4 address-space exhaustion model.")
+  cmd "exhaustion" ~doc:"The §3.4 address-space exhaustion model."
     Term.(const run $ allocs_per_sec $ va_bits)
 
 (* ---- run ---- *)
@@ -204,10 +205,6 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"WORKLOAD"
              ~doc:"Workload name (see $(b,danguard list)).")
-  in
-  let scale =
-    Arg.(value & opt (some int) None
-         & info [ "scale" ] ~docv:"N" ~doc:"Override the workload scale.")
   in
   let run name config scale json =
     let label = Harness.Experiment.config_label config in
@@ -229,9 +226,7 @@ let run_cmd =
                   ( "total_syscalls",
                     J.Int (Vmm.Stats.total_syscalls r.Harness.Experiment.stats)
                   );
-                  ( "stats",
-                    Telemetry.Metrics.to_json
-                      (Vmm.Stats.to_metrics r.Harness.Experiment.stats) );
+                  ("stats", Vmm.Stats.snapshot_to_json r.Harness.Experiment.stats);
                 ]))
       else begin
         Printf.printf "%s under %s:\n  cycles: %sM\n  peak frames: %d\n  VA: %s\n  checker memory: %s\n"
@@ -263,9 +258,7 @@ let run_cmd =
                        J.Int r.Runtime.Process.max_va_bytes_per_connection );
                      ("detections", J.Int r.Runtime.Process.detections);
                      ( "stats",
-                       Telemetry.Metrics.to_json
-                         (Vmm.Stats.to_metrics r.Runtime.Process.total_stats)
-                     );
+                       Vmm.Stats.snapshot_to_json r.Runtime.Process.total_stats );
                    ]))
          else
            Printf.printf
@@ -277,9 +270,8 @@ let run_cmd =
          `Ok ()
        | None -> `Error (false, "unknown workload " ^ name))
   in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Run one workload under one scheme and print stats.")
-    Term.(ret (const run $ workload_name $ config_arg $ scale $ json_arg))
+  cmd "run" ~doc:"Run one workload under one scheme and print stats."
+    Term.(ret (const run $ workload_name $ config_arg $ scale_arg $ json_arg))
 
 (* ---- list ---- *)
 
@@ -304,7 +296,8 @@ let list_cmd =
           s.Workload.Spec.s_description)
       Workload.Catalog.servers
   in
-  Cmd.v (Cmd.info "list" ~doc:"List all workloads.") Term.(const run $ const ())
+  cmd "list" ~doc:"List all workloads."
+    Term.(const run $ const ())
 
 (* ---- compile ---- *)
 
@@ -362,9 +355,7 @@ let compile_cmd =
          end;
          `Ok ())
   in
-  Cmd.v
-    (Cmd.info "compile"
-       ~doc:"Parse, pool-transform and optionally run a MiniC program.")
+  cmd "compile" ~doc:"Parse, pool-transform and optionally run a MiniC program."
     Term.(ret (const run $ file $ emit $ execute $ config_arg))
 
 (* ---- lint ---- *)
@@ -400,12 +391,10 @@ let lint_cmd =
          else print_string (Minic.Diagnostics.render d);
          Stdlib.exit (Minic.Diagnostics.exit_code d))
   in
-  Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Static dangling-pointer analysis of a MiniC program: every \
+  cmd "lint" ~doc:"Static dangling-pointer analysis of a MiniC program: every \
              free and dereference gets a Safe / may-UAF / must-UAF verdict \
              and every malloc site a protection-elision verdict.  Exits 3 \
-             if a must-UAF is found, 2 on malformed input.")
+             if a must-UAF is found, 2 on malformed input."
     Term.(const run $ file $ json_arg)
 
 (* ---- trace ---- *)
@@ -427,9 +416,7 @@ let trace_cmd =
              ~doc:"Generate a random N-event trace to stdout instead of \
                    replaying one.")
   in
-  let seed =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
-  in
+  let seed = seed_arg ~default:1 ~doc:"Generator seed." in
   let target =
     Arg.(value & pos 0 (some string) None
          & info [] ~docv:"WORKLOAD|TRACE"
@@ -546,10 +533,8 @@ let trace_cmd =
           "provide a workload to trace, a trace file to replay, --generate N, \
            or --record W" )
   in
-  Cmd.v
-    (Cmd.info "trace"
-       ~doc:"Trace a workload's events through the telemetry sink, or \
-             generate/record/replay scheme-independent allocation traces.")
+  cmd "trace" ~doc:"Trace a workload's events through the telemetry sink, or \
+             generate/record/replay scheme-independent allocation traces."
     Term.(
       ret
         (const run $ record_workload $ record_scale $ gen_length $ seed
@@ -586,8 +571,153 @@ let demo_cmd =
       (Vmm.Stats.total_syscalls (Vmm.Stats.snapshot m.Vmm.Machine.stats))
       (Vmm.Frame_table.live_frames m.Vmm.Machine.frames)
   in
-  Cmd.v
-    (Cmd.info "demo" ~doc:"A 30-second tour of the dangling-pointer detector.")
+  cmd "demo" ~doc:"A 30-second tour of the dangling-pointer detector."
+    Term.(const run $ const ())
+
+(* ---- farm ---- *)
+
+let farm_cmd =
+  let module Farm = Danguard_farm.Farm in
+  let module Scheduler = Danguard_farm.Scheduler in
+  let server_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SERVER"
+             ~doc:"Server daemon name (see $(b,danguard list)).")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Number of shard domains.")
+  in
+  let connections =
+    Arg.(value & opt (some int) None
+         & info [ "c"; "connections" ] ~docv:"M"
+             ~doc:"Total connections to serve (default: the server's).")
+  in
+  let probe_every =
+    Arg.(value & opt int 0
+         & info [ "probe-every" ] ~docv:"K"
+             ~doc:"Append a dangling-use probe to every K-th connection \
+                   (0 = none).")
+  in
+  let policy =
+    let policies =
+      [ ("round-robin", Scheduler.Round_robin);
+        ("work-steal", Scheduler.Work_steal) ]
+    in
+    Arg.(value & opt (enum policies) Scheduler.Round_robin
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Connection scheduler: round-robin or work-steal.")
+  in
+  let run name shards connections probe_every policy config seed json =
+    if shards < 1 then `Error (false, "--shards must be at least 1")
+    else
+      match Workload.Catalog.find_server name with
+      | None -> `Error (false, "unknown server " ^ name)
+      | Some server ->
+        let r =
+          Farm.run_server ~policy ~seed ~probe_every ~config ?connections
+            ~shards server
+        in
+        let label = Harness.Experiment.config_label config in
+        if json then
+          print_endline
+            (J.to_string
+               (J.Obj
+                  [
+                    ("server", J.String name);
+                    ("scheme", J.String label);
+                    ("shards", J.Int r.Farm.shards);
+                    ("policy", J.String (Scheduler.policy_label r.Farm.policy));
+                    ("seed", J.Int r.Farm.seed);
+                    ("connections", J.Int r.Farm.totals.Farm.connections);
+                    ("detections", J.Int r.Farm.totals.Farm.detections);
+                    ("syscalls", J.Int r.Farm.totals.Farm.syscalls);
+                    ("max_va_bytes", J.Int r.Farm.totals.Farm.max_va_bytes);
+                    ("makespan_cycles", J.Float r.Farm.makespan_cycles);
+                    ("throughput_conn_per_mcycle", J.Float r.Farm.throughput);
+                    ("latency_p50", J.Float r.Farm.latency.Harness.Latency.q50);
+                    ("latency_p95", J.Float r.Farm.latency.Harness.Latency.q95);
+                    ("latency_p99", J.Float r.Farm.latency.Harness.Latency.q99);
+                    ( "per_shard",
+                      J.List
+                        (List.map
+                           (fun (sh : Farm.shard_report) ->
+                             J.Obj
+                               [
+                                 ("shard", J.Int sh.Farm.shard);
+                                 ("served", J.Int sh.Farm.served);
+                                 ("busy_cycles", J.Float sh.Farm.busy_cycles);
+                                 ("detections", J.Int sh.Farm.shard_detections);
+                               ])
+                           r.Farm.per_shard) );
+                    ("stats", Vmm.Stats.snapshot_to_json r.Farm.totals.Farm.stats);
+                  ]))
+        else begin
+          Printf.printf
+            "%s under %s: %d connections over %d shards (%s, seed 0x%x)\n"
+            name label r.Farm.totals.Farm.connections r.Farm.shards
+            (Scheduler.policy_label r.Farm.policy)
+            r.Farm.seed;
+          List.iter
+            (fun (sh : Farm.shard_report) ->
+              Printf.printf
+                "  shard %d: %3d connections, %sM cycles, %d detections\n"
+                sh.Farm.shard sh.Farm.served
+                (Harness.Table.fmt_cycles sh.Farm.busy_cycles)
+                sh.Farm.shard_detections)
+            r.Farm.per_shard;
+          Printf.printf
+            "  makespan %sM cycles, throughput %.3f conn/Mcycle\n"
+            (Harness.Table.fmt_cycles r.Farm.makespan_cycles)
+            r.Farm.throughput;
+          Printf.printf
+            "  detections %d, syscalls %d, latency p50 %sM p99 %sM cycles\n"
+            r.Farm.totals.Farm.detections r.Farm.totals.Farm.syscalls
+            (Harness.Table.fmt_cycles r.Farm.latency.Harness.Latency.q50)
+            (Harness.Table.fmt_cycles r.Farm.latency.Harness.Latency.q99)
+        end;
+        `Ok ()
+  in
+  cmd "farm"
+    ~doc:"Serve one of the paper's daemons across N shard domains and \
+          report merged throughput, detection and latency statistics."
+    Term.(
+      ret
+        (const run $ server_name $ shards $ connections $ probe_every $ policy
+         $ config_arg
+         $ seed_arg ~default:0x5eed ~doc:"Connection-shuffle seed."
+         $ json_arg))
+
+(* ---- help ---- *)
+
+let help_cmd =
+  (* Squeeze the (possibly multi-line) Cmd.info doc into the one-line
+     summary the index prints: first sentence, single spaces. *)
+  let summary doc =
+    let squeezed =
+      String.concat " "
+        (List.filter
+           (fun w -> w <> "")
+           (String.split_on_char ' '
+              (String.map (function '\n' -> ' ' | c -> c) doc)))
+    in
+    (* cut at a sentence-ending period only (".3" in "§4.3" is not one) *)
+    let n = String.length squeezed in
+    let rec cut i =
+      if i >= n then squeezed
+      else if squeezed.[i] = '.' && (i = n - 1 || squeezed.[i + 1] = ' ') then
+        String.sub squeezed 0 (i + 1)
+      else cut (i + 1)
+    in
+    cut 0
+  in
+  let run () =
+    print_endline "danguard subcommands:";
+    List.iter
+      (fun (name, doc) -> Printf.printf "  %-12s %s\n" name (summary doc))
+      !command_index
+  in
+  cmd "help" ~doc:"List every subcommand with a one-line summary."
     Term.(const run $ const ())
 
 let main_cmd =
@@ -599,7 +729,8 @@ let main_cmd =
     (Cmd.info "danguard" ~version:"1.0.0" ~doc)
     [
       table_cmd; addr_space_cmd; detect_cmd; faults_cmd; exhaustion_cmd;
-      run_cmd; list_cmd; compile_cmd; lint_cmd; trace_cmd; demo_cmd;
+      run_cmd; list_cmd; compile_cmd; lint_cmd; trace_cmd; demo_cmd; farm_cmd;
+      help_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

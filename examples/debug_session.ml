@@ -51,7 +51,11 @@ let () =
   let run label strategy =
     let m = Vmm.Machine.create () in
     let scheme = Runtime.Schemes.shadow_pool m in
-    let pool = Option.get (Runtime.Schemes.shadow_pool_global scheme) in
+    let pool =
+      match Runtime.Schemes.introspect scheme with
+      | Runtime.Schemes.Shadow_pool { global; _ } -> global
+      | _ -> assert false
+    in
     let policy = Shadow.Reuse_policy.create strategy pool in
     for i = 1 to 3_000 do
       let a = scheme.Runtime.Scheme.malloc ~site:"immortal" 64 in

@@ -110,6 +110,7 @@ let scheme ?(config = default_config) machine =
                retired set retained for diagnosis. *)
             (Hashtbl.length st.gcs * 48) + (Hashtbl.length st.retired * 16));
         guarantees_detection = true;
+        introspection = Runtime.Scheme.No_introspection;
       }
   in
   Lazy.force scheme

@@ -76,6 +76,7 @@ let scheme ?(guard_pages = true) machine =
         compute = (fun n -> Stats.count_instructions machine.Machine.stats n);
         extra_memory_bytes = (fun () -> 0);
         guarantees_detection = true;
+        introspection = Runtime.Scheme.No_introspection;
       }
   in
   Lazy.force scheme

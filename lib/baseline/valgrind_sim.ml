@@ -148,6 +148,7 @@ let scheme ?(config = default_config) machine =
             (* Shadow validity bits (~1/8 of heap) plus the quarantine. *)
             (Heap.Freelist_malloc.live_bytes st.heap / 8) + st.quarantined_bytes);
         guarantees_detection = false;
+        introspection = Runtime.Scheme.No_introspection;
       }
   in
   Lazy.force scheme

@@ -1,0 +1,160 @@
+module Metrics = Telemetry.Metrics
+
+type totals = {
+  connections : int;
+  detections : int;
+  syscalls : int;
+  max_va_bytes : int;
+  stats : Vmm.Stats.snapshot;
+}
+
+type shard_report = {
+  shard : int;
+  served : int;
+  busy_cycles : float;
+  shard_detections : int;
+}
+
+type result = {
+  shards : int;
+  policy : Scheduler.policy;
+  seed : int;
+  totals : totals;
+  makespan_cycles : float;
+  throughput : float;
+  latency : Harness.Latency.quantiles;
+  per_shard : shard_report list;
+  registry : Metrics.t;
+}
+
+(* A deterministic dangling-use probe appended to every [probe_every]-th
+   connection: malloc, store, free, load-after-free.  Detecting schemes
+   raise (the child dies, Process.run_connection records it); others
+   silently read the reused memory, exactly the paper's contrast. *)
+let probed_handler ~probe_every handler conn (scheme : Runtime.Scheme.t) =
+  handler conn scheme;
+  if probe_every > 0 && conn mod probe_every = 0 then begin
+    let a = scheme.Runtime.Scheme.malloc ~site:"farm:probe" 64 in
+    scheme.Runtime.Scheme.store a ~width:8 (conn + 1);
+    scheme.Runtime.Scheme.free ~site:"farm:probe" a;
+    ignore (scheme.Runtime.Scheme.load a ~width:8)
+  end
+
+type shard_outcome = {
+  o_shard : int;
+  o_served : int;
+  o_busy : float;
+  o_registry : Metrics.t;
+}
+
+(* Everything a shard touches is shard-local: its own registry, its own
+   machines (one per connection), its own scheduler cursor.  The only
+   cross-domain traffic is the work-steal cursor (atomic) — no locks on
+   the connection hot path. *)
+let run_shard ~scheduler ~shard ~make_scheme ~handler =
+  let registry = Metrics.create () in
+  let connections = Metrics.counter registry "farm.connections" in
+  let detections = Metrics.counter registry "farm.detections" in
+  let max_va = Metrics.gauge registry "farm.max_va_bytes" in
+  let latency =
+    Metrics.histogram
+      ~buckets_per_octave:Harness.Latency.buckets_per_octave registry
+      "farm.latency_cycles"
+  in
+  let busy = ref 0.0 in
+  let served = ref 0 in
+  let rec loop () =
+    match Scheduler.next scheduler ~shard with
+    | None -> ()
+    | Some conn ->
+      let r =
+        Runtime.Process.run_connection ~make_scheme:(make_scheme ~shard)
+          ~handler:(handler conn)
+      in
+      incr served;
+      busy := !busy +. r.Runtime.Process.cycles;
+      Metrics.incr connections;
+      if r.Runtime.Process.detection <> None then Metrics.incr detections;
+      Telemetry.Histogram.observe latency r.Runtime.Process.cycles;
+      let va = float_of_int r.Runtime.Process.va_bytes in
+      if va > Metrics.gauge_value max_va then Metrics.set_gauge max_va va;
+      Vmm.Stats.accumulate registry r.Runtime.Process.stats;
+      loop ()
+  in
+  loop ();
+  { o_shard = shard; o_served = !served; o_busy = !busy; o_registry = registry }
+
+let counter_value registry name =
+  Metrics.counter_value (Metrics.counter registry name)
+
+let run ?(policy = Scheduler.Round_robin) ?(seed = 0x5eed) ?(probe_every = 0)
+    ~make_scheme ~handler ~shards ~connections () =
+  let scheduler = Scheduler.create ~policy ~seed ~shards ~connections in
+  let handler = probed_handler ~probe_every handler in
+  let outcomes =
+    if shards = 1 then [| run_shard ~scheduler ~shard:0 ~make_scheme ~handler |]
+    else
+      Array.init shards (fun shard ->
+          Domain.spawn (fun () ->
+              run_shard ~scheduler ~shard ~make_scheme ~handler))
+      |> Array.map Domain.join
+  in
+  let registry = Metrics.create () in
+  Array.iter (fun o -> Metrics.merge ~into:registry o.o_registry) outcomes;
+  let stats = Vmm.Stats.snapshot (Vmm.Stats.create ~registry ()) in
+  let totals =
+    {
+      connections = counter_value registry "farm.connections";
+      detections = counter_value registry "farm.detections";
+      syscalls = Vmm.Stats.total_syscalls stats;
+      max_va_bytes =
+        int_of_float (Metrics.gauge_value (Metrics.gauge registry "farm.max_va_bytes"));
+      stats;
+    }
+  in
+  (* The farm is one simulated parallel machine: its makespan is the
+     busiest shard's simulated cycles, so throughput scales with shard
+     count deterministically (no wall-clock, no host-core dependence). *)
+  let makespan =
+    Array.fold_left (fun acc o -> Float.max acc o.o_busy) 0.0 outcomes
+  in
+  let throughput =
+    if makespan > 0.0 then float_of_int totals.connections /. (makespan /. 1e6)
+    else 0.0
+  in
+  let latency =
+    Harness.Latency.quantiles_of_histogram
+      (Metrics.histogram registry "farm.latency_cycles")
+  in
+  let per_shard =
+    Array.to_list
+      (Array.map
+         (fun o ->
+           {
+             shard = o.o_shard;
+             served = o.o_served;
+             busy_cycles = o.o_busy;
+             shard_detections = counter_value o.o_registry "farm.detections";
+           })
+         outcomes)
+  in
+  {
+    shards;
+    policy;
+    seed;
+    totals;
+    makespan_cycles = makespan;
+    throughput;
+    latency;
+    per_shard;
+    registry;
+  }
+
+let run_server ?policy ?seed ?probe_every ?(config = Harness.Experiment.Ours)
+    ?connections ~shards (server : Workload.Spec.server) =
+  let connections =
+    Option.value connections ~default:server.Workload.Spec.s_default_connections
+  in
+  run ?policy ?seed ?probe_every
+    ~make_scheme:(fun ~shard:_ () -> Harness.Experiment.make_scheme config ())
+    ~handler:server.Workload.Spec.handler ~shards ~connections ()

@@ -1,0 +1,76 @@
+(** A domain-sharded server farm: the paper's fork-per-connection
+    daemons scaled across OCaml domains.
+
+    Each shard is a domain running its share of the connections, every
+    connection a fresh machine + scheme ({!Runtime.Process}), so shards
+    share {e nothing} on the hot path: per-shard metrics registries and
+    latency histograms are merged once at join ({!Telemetry.Metrics.merge}).
+
+    Determinism contract: a connection's behaviour depends only on its
+    index, so the merged totals — detections, syscalls, the latency
+    histogram — are identical for any (shards, policy) at a fixed seed;
+    under {!Scheduler.Round_robin} the per-shard assignment and the
+    makespan are deterministic too.  Time is simulated cycles: the
+    farm's makespan is the busiest shard's cycle total, so measured
+    speedup reflects the sharding itself, not the host's core count. *)
+
+type totals = {
+  connections : int;  (** connections served, summed over shards *)
+  detections : int;   (** children that died on a caught violation *)
+  syscalls : int;     (** mmap + munmap + mremap + mprotect + dummy *)
+  max_va_bytes : int; (** largest per-connection VA footprint seen *)
+  stats : Vmm.Stats.snapshot;  (** merged per-child event counters *)
+}
+
+type shard_report = {
+  shard : int;
+  served : int;
+  busy_cycles : float;
+  shard_detections : int;
+}
+
+type result = {
+  shards : int;
+  policy : Scheduler.policy;
+  seed : int;
+  totals : totals;
+  makespan_cycles : float;
+      (** max over shards of per-shard simulated busy cycles *)
+  throughput : float;
+      (** connections per million simulated cycles of makespan *)
+  latency : Harness.Latency.quantiles;
+      (** percentiles of the merged per-connection cycles histogram *)
+  per_shard : shard_report list;
+  registry : Telemetry.Metrics.t;
+      (** the merged registry: "farm.*" plus the children's "vmm.*" *)
+}
+
+val run :
+  ?policy:Scheduler.policy ->
+  ?seed:int ->
+  ?probe_every:int ->
+  make_scheme:(shard:int -> unit -> Runtime.Scheme.t) ->
+  handler:(int -> Runtime.Scheme.t -> unit) ->
+  shards:int ->
+  connections:int ->
+  unit ->
+  result
+(** Serve [connections] across [shards] domains.  [probe_every] > 0
+    appends a malloc/store/free/load-after-free probe to every k-th
+    connection (by index, so probed connections are the same set at any
+    shard count): detecting schemes record them as detections, others
+    silently read reused memory.  Default policy {!Scheduler.Round_robin},
+    seed [0x5eed], no probes. *)
+
+val run_server :
+  ?policy:Scheduler.policy ->
+  ?seed:int ->
+  ?probe_every:int ->
+  ?config:Harness.Experiment.config ->
+  ?connections:int ->
+  shards:int ->
+  Workload.Spec.server ->
+  result
+(** {!run} over one of the paper's daemons, a fresh
+    {!Harness.Experiment.make_scheme} per connection (default
+    [Ours]; connections default to the server's own default). *)

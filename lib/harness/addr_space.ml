@@ -23,13 +23,12 @@ let measure ?connections (server : Workload.Spec.server) =
   for i = 0 to connections - 1 do
     let scheme = Experiment.make_scheme Experiment.Ours () in
     server.Workload.Spec.handler i scheme;
-    (match Runtime.Schemes.shadow_pool_global scheme with
-     | Some pool -> wasted := !wasted + Shadow.Shadow_pool.shadow_pages_live pool
-     | None -> ());
-    (match Runtime.Schemes.shadow_pool_recycler scheme with
-     | Some recycler ->
+    (match Runtime.Schemes.introspect scheme with
+     | Runtime.Schemes.Shadow_pool { global; recycler }
+     | Runtime.Schemes.Shadow_pool_static { global; recycler; _ } ->
+       wasted := !wasted + Shadow.Shadow_pool.shadow_pages_live global;
        recycled := !recycled + Apa.Page_recycler.total_recycled_pages recycler
-     | None -> ());
+     | Runtime.Schemes.Opaque -> ());
     let va = Vmm.Machine.va_bytes_used scheme.Runtime.Scheme.machine in
     if va > !max_va then max_va := va
   done;

@@ -29,6 +29,17 @@ let handler blocks _conn (scheme : Runtime.Scheme.t) =
    percentile *ratios* across configs, so quantization error must stay
    well under the few-percent effects being measured. *)
 let latency_buckets_per_octave = 256
+let buckets_per_octave = latency_buckets_per_octave
+
+type quantiles = { q50 : float; q95 : float; q99 : float; q_mean : float }
+
+let quantiles_of_histogram hist =
+  {
+    q50 = Telemetry.Histogram.percentile hist 0.50;
+    q95 = Telemetry.Histogram.percentile hist 0.95;
+    q99 = Telemetry.Histogram.percentile hist 0.99;
+    q_mean = Telemetry.Histogram.mean hist;
+  }
 
 let measure ?(connections = 120) config =
   let rng = Workload.Prng.create ~seed:271828 in
@@ -44,13 +55,8 @@ let measure ?(connections = 120) config =
     in
     Telemetry.Histogram.observe hist result.Runtime.Process.cycles
   done;
-  {
-    config;
-    p50 = Telemetry.Histogram.percentile hist 0.50;
-    p95 = Telemetry.Histogram.percentile hist 0.95;
-    p99 = Telemetry.Histogram.percentile hist 0.99;
-    mean = Telemetry.Histogram.mean hist;
-  }
+  let q = quantiles_of_histogram hist in
+  { config; p50 = q.q50; p95 = q.q95; p99 = q.q99; mean = q.q_mean }
 
 let study ?connections () =
   List.map

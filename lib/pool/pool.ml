@@ -18,8 +18,9 @@ type t = {
 }
 
 (* Process-wide pool numbering, so traces can correlate create/destroy
-   across machines. *)
-let next_id = ref 0
+   across machines; atomic so pools can be created from several domains
+   at once. *)
+let next_id = Atomic.make 0
 
 let take_pages machine reclaim owned pages =
   let base =
@@ -40,8 +41,7 @@ let create ?(arena_pages = 16) ?elem_size ~reclaim machine =
   let owned = ref [] in
   let page_source pages = take_pages machine reclaim owned pages in
   let heap = Heap.Freelist_malloc.create ~arena_pages ~page_source machine in
-  incr next_id;
-  let id = !next_id in
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
   Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
       Telemetry.Event.Pool_create { pool = id; elem_size });
   { machine; reclaim; elem_size; id; heap; owned; destroyed = false }

@@ -148,6 +148,7 @@ let shadow_basic ?retry ?config machine =
         compute = (fun n -> Stats.count_instructions machine.Machine.stats n);
         extra_memory_bytes = (fun () -> 0);
         guarantees_detection = true;
+        introspection = Scheme.No_introspection;
       }
   in
   {
@@ -200,6 +201,7 @@ let shadow_pool ?retry ?config ?(reuse_shadow_va = true) machine =
       compute = (fun n -> Stats.count_instructions machine.Machine.stats n);
       extra_memory_bytes = (fun () -> 0);
       guarantees_detection = false;
+      introspection = Scheme.No_introspection;
     }
   in
   { scheme; governor; registry; unprotected_allocs; ever_unprotected }

@@ -4,6 +4,9 @@ type pool_handle = {
   pool_destroy : unit -> unit;
 }
 
+type introspection = ..
+type introspection += No_introspection
+
 type t = {
   name : string;
   machine : Vmm.Machine.t;
@@ -15,6 +18,7 @@ type t = {
   compute : int -> unit;
   extra_memory_bytes : unit -> int;
   guarantees_detection : bool;
+  introspection : introspection;
 }
 
 let direct_pool t =

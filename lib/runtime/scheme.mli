@@ -17,6 +17,16 @@ type pool_handle = {
     plain malloc/free with a no-op destroy, which is how the same
     workload source runs un-pool-transformed. *)
 
+type introspection = ..
+(** Scheme-private internals a constructor may choose to expose, carried
+    on the scheme record itself so lookup needs no global side table
+    (and is therefore safe when schemes are built concurrently on many
+    domains).  Constructors extend this type; consumers go through
+    {!Schemes.introspect}, which maps it to a closed [info] variant. *)
+
+type introspection += No_introspection
+(** The default: nothing beyond the record's own fields. *)
+
 type t = {
   name : string;
   machine : Vmm.Machine.t;
@@ -35,6 +45,8 @@ type t = {
       (** Whether the scheme detects {e all} dangling pointer uses, per
           the paper's taxonomy (ours, Electric Fence, capability-based:
           yes; Valgrind-style heuristics: no). *)
+  introspection : introspection;
+      (** Constructor-private internals; read via {!Schemes.introspect}. *)
 }
 
 val direct_pool : t -> pool_handle

@@ -16,6 +16,34 @@ let trace_free machine site addr =
     Telemetry.Sink.emit machine.Machine.trace (fun () ->
         Telemetry.Event.Free { site; addr })
 
+type elision_stats = {
+  elided_allocs : int;
+  elided_frees : int;
+  protected_allocs : int;
+  protected_frees : int;
+}
+
+type info =
+  | Opaque
+  | Shadow_pool of {
+      global : Shadow.Shadow_pool.t;
+      recycler : Apa.Page_recycler.t;
+    }
+  | Shadow_pool_static of {
+      global : Shadow.Shadow_pool.t;
+      recycler : Apa.Page_recycler.t;
+      elision : unit -> elision_stats;
+    }
+
+(* The private carrier on the scheme record; [introspect] is the only
+   reader, so the constructor never leaks. *)
+type Scheme.introspection += Info of info
+
+let introspect (scheme : Scheme.t) =
+  match scheme.Scheme.introspection with
+  | Info i -> i
+  | _ -> Opaque
+
 let native machine =
   let malloc_heap = Heap.Freelist_malloc.create machine in
   let rec scheme =
@@ -39,6 +67,7 @@ let native machine =
         compute = compute_direct machine;
         extra_memory_bytes = (fun () -> 0);
         guarantees_detection = false;
+        introspection = Scheme.No_introspection;
       }
   in
   Lazy.force scheme
@@ -82,6 +111,7 @@ let pa ?(dummy_syscalls = false) machine =
     compute = compute_direct machine;
     extra_memory_bytes = (fun () -> 0);
     guarantees_detection = false;
+    introspection = Scheme.No_introspection;
   }
 
 let trace_violation machine (r : Shadow.Report.t) =
@@ -130,15 +160,10 @@ let shadow_basic machine =
         compute = compute_direct machine;
         extra_memory_bytes = (fun () -> 0);
         guarantees_detection = true;
+        introspection = Scheme.No_introspection;
       }
   in
   Lazy.force scheme
-
-(* The full-scheme record carries the global pool so §3.4 experiments can
-   reach it; we stash it in a side table keyed by the machine. *)
-let global_pools :
-  (Machine.t * (Shadow.Shadow_pool.t * Apa.Page_recycler.t)) list ref =
-  ref []
 
 let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
   let registry = Shadow.Object_registry.create () in
@@ -148,7 +173,6 @@ let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
       machine
   in
   let global = make_pool () in
-  global_pools := (machine, (global, recycler)) :: !global_pools;
   let wrap_pool pool =
     {
       Scheme.pool_alloc =
@@ -169,6 +193,7 @@ let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
       compute = compute_direct machine;
       extra_memory_bytes = (fun () -> 0);
       guarantees_detection = true;
+      introspection = Info (Shadow_pool { global; recycler });
     },
     registry )
 
@@ -220,13 +245,6 @@ let shadow_pool_spatial ?(bounds_check_cost = 6) machine =
         base.Scheme.store addr ~width v);
   }
 
-type elision_stats = {
-  elided_allocs : int;
-  elided_frees : int;
-  protected_allocs : int;
-  protected_frees : int;
-}
-
 (* Shadow-pool with a per-malloc-site protection policy from the static
    analysis: sites whose every use is provably Safe take the canonical
    allocation path (no shadow alias, no mremap/mprotect), everything
@@ -270,22 +288,9 @@ let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
       pool_destroy = (fun () -> Shadow.Shadow_pool.destroy pool);
     }
   in
-  let global_handle = wrap_pool (make_pool ()) in
-  let scheme =
-    {
-      Scheme.name = "shadow-pool+static";
-      machine;
-      malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
-      free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
-      load = guarded_load machine registry;
-      store = guarded_store machine registry;
-      pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
-      compute = compute_direct machine;
-      extra_memory_bytes = (fun () -> 0);
-      guarantees_detection = true;
-    }
-  in
-  let stats () =
+  let global = make_pool () in
+  let global_handle = wrap_pool global in
+  let elision () =
     {
       elided_allocs = !elided_allocs;
       elided_frees = !elided_frees;
@@ -293,10 +298,16 @@ let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
       protected_frees = !protected_frees;
     }
   in
-  (scheme, stats)
-
-let lookup_side_table (scheme : Scheme.t) =
-  List.assq_opt scheme.Scheme.machine !global_pools
-
-let shadow_pool_global scheme = Option.map fst (lookup_side_table scheme)
-let shadow_pool_recycler scheme = Option.map snd (lookup_side_table scheme)
+  {
+    Scheme.name = "shadow-pool+static";
+    machine;
+    malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+    free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+    load = guarded_load machine registry;
+    store = guarded_store machine registry;
+    pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+    compute = compute_direct machine;
+    extra_memory_bytes = (fun () -> 0);
+    guarantees_detection = true;
+    introspection = Info (Shadow_pool_static { global; recycler; elision });
+  }

@@ -26,14 +26,6 @@ val shadow_pool : ?reuse_shadow_va:bool -> Vmm.Machine.t -> Scheme.t
     Top-level [malloc]/[free] go through a global pool; [pool_create]
     makes compiler-inferred pools whose destroy recycles all pages. *)
 
-val shadow_pool_global : Scheme.t -> Shadow.Shadow_pool.t option
-(** Access the global pool behind a {!shadow_pool} scheme (for the §3.4
-    long-lived-pool experiments); [None] for other schemes. *)
-
-val shadow_pool_recycler : Scheme.t -> Apa.Page_recycler.t option
-(** The shared page free list behind a {!shadow_pool} scheme (for the
-    §4.3 address-space measurements). *)
-
 type elision_stats = {
   elided_allocs : int;  (** allocations served without a shadow alias *)
   elided_frees : int;   (** frees that skipped [mprotect] *)
@@ -41,11 +33,35 @@ type elision_stats = {
   protected_frees : int;
 }
 
+(** What {!introspect} reveals about a scheme's internals. *)
+type info =
+  | Opaque  (** nothing beyond the {!Scheme.t} record's own fields *)
+  | Shadow_pool of {
+      global : Shadow.Shadow_pool.t;
+          (** the global pool (for the §3.4 long-lived-pool experiments) *)
+      recycler : Apa.Page_recycler.t;
+          (** the shared page free list (for §4.3 address-space
+              measurements) *)
+    }
+  | Shadow_pool_static of {
+      global : Shadow.Shadow_pool.t;
+      recycler : Apa.Page_recycler.t;
+      elision : unit -> elision_stats;
+          (** aggregate elision counts so far *)
+    }
+
+val introspect : Scheme.t -> info
+(** The single entry point for scheme internals.  Reads the
+    [introspection] field carried on the scheme record itself — no
+    global side table, so it is safe when schemes are built concurrently
+    on many domains — and returns [Opaque] for schemes built by other
+    libraries (baselines, governed wrappers). *)
+
 val shadow_pool_static :
   ?reuse_shadow_va:bool ->
   elide:(string -> bool) ->
   Vmm.Machine.t ->
-  Scheme.t * (unit -> elision_stats)
+  Scheme.t
 (** {!shadow_pool} driven by a static per-malloc-site protection policy
     (see [Minic.Dangling.elide_policy]): when [elide site] is true the
     allocation is served from the canonical pages with no shadow alias —
@@ -53,7 +69,7 @@ val shadow_pool_static :
     proved every use of that site's class Safe.  All other sites,
     including any the policy does not recognise, keep the full scheme,
     so detection at May/Must sites is exactly as in {!shadow_pool}.
-    The second component reports aggregate elision counts. *)
+    Elision counts are available via {!introspect}. *)
 
 val shadow_pool_spatial :
   ?bounds_check_cost:int -> Vmm.Machine.t -> Scheme.t

@@ -44,6 +44,40 @@ let observe t v =
     | Some r -> incr r
     | None -> Hashtbl.add t.counts idx (ref 1)
 
+let buckets_per_octave t = t.bpo
+
+let merge_into ~into src =
+  if into.bpo <> src.bpo then
+    invalid_arg
+      (Printf.sprintf
+         "Histogram.merge_into: buckets_per_octave mismatch (%d vs %d)"
+         into.bpo src.bpo);
+  if src.count > 0 then begin
+    if into.count = 0 then begin
+      into.min_v <- src.min_v;
+      into.max_v <- src.max_v
+    end
+    else begin
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v
+    end;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    into.zeros <- into.zeros + src.zeros;
+    Hashtbl.iter
+      (fun idx r ->
+        match Hashtbl.find_opt into.counts idx with
+        | Some r' -> r' := !r' + !r
+        | None -> Hashtbl.add into.counts idx (ref !r))
+      src.counts
+  end
+
+let merge a b =
+  let t = create ~buckets_per_octave:a.bpo () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
 let count t = t.count
 let sum t = t.sum
 let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count

@@ -16,6 +16,20 @@ val observe : t -> float -> unit
 (** Record one sample.  Negative samples are clamped to zero; zeros are
     tracked exactly in a dedicated bucket. *)
 
+val buckets_per_octave : t -> int
+
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s samples into [into]: bucket counts, zeros, count, sum
+    add; extrema combine by min/max.  The result is exactly the
+    histogram of the union of both sample multisets, so merging is
+    associative and order-independent — the property the farm relies on
+    when per-shard histograms join into one registry.  Raises
+    [Invalid_argument] when the two histograms use different
+    [buckets_per_octave]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples (see {!merge_into}). *)
+
 val count : t -> int
 val sum : t -> float
 val mean : t -> float

@@ -64,6 +64,26 @@ let histogram ?buckets_per_octave t name =
 
 let names t = List.rev t.rev_names
 
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.tbl name with
+      | None -> ()
+      | Some (Counter c) -> incr ~by:c.c_value (counter into name)
+      | Some (Gauge g) ->
+        let dst = gauge into name in
+        (* Gauges record levels (peaks, watermarks): max is the only
+           merge that is order-independent and agrees with "the level
+           the union of runs reached". *)
+        set_gauge dst (Float.max (gauge_value dst) g.g_value)
+      | Some (Hist h) ->
+        let dst =
+          histogram ~buckets_per_octave:(Histogram.buckets_per_octave h) into
+            name
+        in
+        Histogram.merge_into ~into:dst h)
+    (names src)
+
 let hist_summary h =
   Json.Obj
     [

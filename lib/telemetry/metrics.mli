@@ -29,6 +29,16 @@ val histogram : ?buckets_per_octave:int -> t -> string -> Histogram.t
 val names : t -> string list
 (** Registered metric names, in registration order. *)
 
+val merge : into:t -> t -> unit
+(** Fold every metric of the source registry into [into], get-or-create
+    by name: counters add, gauges take the max, histograms merge sample
+    multisets ({!Histogram.merge_into}).  All three operations are
+    commutative and associative, so merging shard registries is
+    order-independent and equal to one registry fed all the samples —
+    the farm's join-time contract.  Raises [Invalid_argument] if a name
+    is registered with different metric kinds in the two registries, or
+    if two histograms disagree on [buckets_per_octave]. *)
+
 val to_json : t -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name:
     {count, mean, p50, p90, p99, max}}}]. *)

@@ -5,27 +5,33 @@ type syscall_kind =
   | Sys_munmap
   | Sys_dummy
 
+(* The machine's event counters ARE telemetry counters: every count_*
+   site below writes straight into a [Telemetry.Metrics] registry
+   through handles cached at creation time, so the hot path stays one
+   mutable-field update and there is no separate sync step — the
+   registry exporters always see the live values. *)
 type t = {
-  mutable instructions : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable tlb_hits : int;
-  mutable tlb_misses : int;
-  mutable tlb_flushes : int;
-  mutable tlb_shootdowns : int;
-  mutable tlb_shootdown_pages : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable syscalls_mmap : int;
-  mutable syscalls_mremap : int;
-  mutable syscalls_mprotect : int;
-  mutable syscalls_munmap : int;
-  mutable syscalls_dummy : int;
-  mutable faults : int;
-  mutable syscalls_failed : int;
-  mutable syscall_retries : int;
-  mutable pages_mapped : int;
-  mutable frames_allocated : int;
+  registry : Telemetry.Metrics.t;
+  instructions : Telemetry.Metrics.counter;
+  loads : Telemetry.Metrics.counter;
+  stores : Telemetry.Metrics.counter;
+  tlb_hits : Telemetry.Metrics.counter;
+  tlb_misses : Telemetry.Metrics.counter;
+  tlb_flushes : Telemetry.Metrics.counter;
+  tlb_shootdowns : Telemetry.Metrics.counter;
+  tlb_shootdown_pages : Telemetry.Metrics.counter;
+  cache_hits : Telemetry.Metrics.counter;
+  cache_misses : Telemetry.Metrics.counter;
+  syscalls_mmap : Telemetry.Metrics.counter;
+  syscalls_mremap : Telemetry.Metrics.counter;
+  syscalls_mprotect : Telemetry.Metrics.counter;
+  syscalls_munmap : Telemetry.Metrics.counter;
+  syscalls_dummy : Telemetry.Metrics.counter;
+  faults : Telemetry.Metrics.counter;
+  syscalls_failed : Telemetry.Metrics.counter;
+  syscall_retries : Telemetry.Metrics.counter;
+  pages_mapped : Telemetry.Metrics.counter;
+  frames_allocated : Telemetry.Metrics.counter;
 }
 
 type snapshot = {
@@ -51,83 +57,91 @@ type snapshot = {
   frames_allocated : int;
 }
 
-let create () : t =
+let create ?registry () : t =
+  let registry =
+    match registry with
+    | Some r -> r
+    | None -> Telemetry.Metrics.create ()
+  in
+  let c name = Telemetry.Metrics.counter registry name in
   {
-    instructions = 0;
-    loads = 0;
-    stores = 0;
-    tlb_hits = 0;
-    tlb_misses = 0;
-    tlb_flushes = 0;
-    tlb_shootdowns = 0;
-    tlb_shootdown_pages = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    syscalls_mmap = 0;
-    syscalls_mremap = 0;
-    syscalls_mprotect = 0;
-    syscalls_munmap = 0;
-    syscalls_dummy = 0;
-    faults = 0;
-    syscalls_failed = 0;
-    syscall_retries = 0;
-    pages_mapped = 0;
-    frames_allocated = 0;
+    registry;
+    instructions = c "vmm.instructions";
+    loads = c "vmm.loads";
+    stores = c "vmm.stores";
+    tlb_hits = c "vmm.tlb_hits";
+    tlb_misses = c "vmm.tlb_misses";
+    tlb_flushes = c "vmm.tlb_flushes";
+    tlb_shootdowns = c "vmm.tlb_shootdowns";
+    tlb_shootdown_pages = c "vmm.tlb_shootdown_pages";
+    cache_hits = c "vmm.cache_hits";
+    cache_misses = c "vmm.cache_misses";
+    syscalls_mmap = c "vmm.syscalls_mmap";
+    syscalls_mremap = c "vmm.syscalls_mremap";
+    syscalls_mprotect = c "vmm.syscalls_mprotect";
+    syscalls_munmap = c "vmm.syscalls_munmap";
+    syscalls_dummy = c "vmm.syscalls_dummy";
+    faults = c "vmm.faults";
+    syscalls_failed = c "vmm.syscalls_failed";
+    syscall_retries = c "vmm.syscall_retries";
+    pages_mapped = c "vmm.pages_mapped";
+    frames_allocated = c "vmm.frames_allocated";
   }
 
-let count_instructions (t : t) n = t.instructions <- t.instructions + n
-let count_load (t : t) = t.loads <- t.loads + 1
-let count_store (t : t) = t.stores <- t.stores + 1
-let count_tlb_hit (t : t) = t.tlb_hits <- t.tlb_hits + 1
-let count_tlb_miss (t : t) = t.tlb_misses <- t.tlb_misses + 1
-let count_tlb_flush (t : t) = t.tlb_flushes <- t.tlb_flushes + 1
+let registry (t : t) = t.registry
+
+let count_instructions (t : t) n = Telemetry.Metrics.incr ~by:n t.instructions
+let count_load (t : t) = Telemetry.Metrics.incr t.loads
+let count_store (t : t) = Telemetry.Metrics.incr t.stores
+let count_tlb_hit (t : t) = Telemetry.Metrics.incr t.tlb_hits
+let count_tlb_miss (t : t) = Telemetry.Metrics.incr t.tlb_misses
+let count_tlb_flush (t : t) = Telemetry.Metrics.incr t.tlb_flushes
 
 let count_tlb_shootdown (t : t) ~pages =
-  t.tlb_shootdowns <- t.tlb_shootdowns + 1;
-  t.tlb_shootdown_pages <- t.tlb_shootdown_pages + pages
+  Telemetry.Metrics.incr t.tlb_shootdowns;
+  Telemetry.Metrics.incr ~by:pages t.tlb_shootdown_pages
 
-let count_cache_hit (t : t) = t.cache_hits <- t.cache_hits + 1
-let count_cache_miss (t : t) = t.cache_misses <- t.cache_misses + 1
+let count_cache_hit (t : t) = Telemetry.Metrics.incr t.cache_hits
+let count_cache_miss (t : t) = Telemetry.Metrics.incr t.cache_misses
 
 let count_syscall (t : t) = function
-  | Sys_mmap -> t.syscalls_mmap <- t.syscalls_mmap + 1
-  | Sys_mremap -> t.syscalls_mremap <- t.syscalls_mremap + 1
-  | Sys_mprotect -> t.syscalls_mprotect <- t.syscalls_mprotect + 1
-  | Sys_munmap -> t.syscalls_munmap <- t.syscalls_munmap + 1
-  | Sys_dummy -> t.syscalls_dummy <- t.syscalls_dummy + 1
+  | Sys_mmap -> Telemetry.Metrics.incr t.syscalls_mmap
+  | Sys_mremap -> Telemetry.Metrics.incr t.syscalls_mremap
+  | Sys_mprotect -> Telemetry.Metrics.incr t.syscalls_mprotect
+  | Sys_munmap -> Telemetry.Metrics.incr t.syscalls_munmap
+  | Sys_dummy -> Telemetry.Metrics.incr t.syscalls_dummy
 
-let count_fault (t : t) = t.faults <- t.faults + 1
+let count_fault (t : t) = Telemetry.Metrics.incr t.faults
+let count_syscall_failed (t : t) = Telemetry.Metrics.incr t.syscalls_failed
+let count_syscall_retry (t : t) = Telemetry.Metrics.incr t.syscall_retries
+let count_page_mapped (t : t) = Telemetry.Metrics.incr t.pages_mapped
 
-let count_syscall_failed (t : t) =
-  t.syscalls_failed <- t.syscalls_failed + 1
-
-let count_syscall_retry (t : t) =
-  t.syscall_retries <- t.syscall_retries + 1
-let count_page_mapped (t : t) = t.pages_mapped <- t.pages_mapped + 1
-let count_frame_allocated (t : t) = t.frames_allocated <- t.frames_allocated + 1
+let count_frame_allocated (t : t) =
+  Telemetry.Metrics.incr t.frames_allocated
 
 let snapshot (t : t) : snapshot =
+  let v = Telemetry.Metrics.counter_value in
   {
-    instructions = t.instructions;
-    loads = t.loads;
-    stores = t.stores;
-    tlb_hits = t.tlb_hits;
-    tlb_misses = t.tlb_misses;
-    tlb_flushes = t.tlb_flushes;
-    tlb_shootdowns = t.tlb_shootdowns;
-    tlb_shootdown_pages = t.tlb_shootdown_pages;
-    cache_hits = t.cache_hits;
-    cache_misses = t.cache_misses;
-    syscalls_mmap = t.syscalls_mmap;
-    syscalls_mremap = t.syscalls_mremap;
-    syscalls_mprotect = t.syscalls_mprotect;
-    syscalls_munmap = t.syscalls_munmap;
-    syscalls_dummy = t.syscalls_dummy;
-    faults = t.faults;
-    syscalls_failed = t.syscalls_failed;
-    syscall_retries = t.syscall_retries;
-    pages_mapped = t.pages_mapped;
-    frames_allocated = t.frames_allocated;
+    instructions = v t.instructions;
+    loads = v t.loads;
+    stores = v t.stores;
+    tlb_hits = v t.tlb_hits;
+    tlb_misses = v t.tlb_misses;
+    tlb_flushes = v t.tlb_flushes;
+    tlb_shootdowns = v t.tlb_shootdowns;
+    tlb_shootdown_pages = v t.tlb_shootdown_pages;
+    cache_hits = v t.cache_hits;
+    cache_misses = v t.cache_misses;
+    syscalls_mmap = v t.syscalls_mmap;
+    syscalls_mremap = v t.syscalls_mremap;
+    syscalls_mprotect = v t.syscalls_mprotect;
+    syscalls_munmap = v t.syscalls_munmap;
+    syscalls_dummy = v t.syscalls_dummy;
+    faults = v t.faults;
+    syscalls_failed = v t.syscalls_failed;
+    syscall_retries = v t.syscall_retries;
+    pages_mapped = v t.pages_mapped;
+    frames_allocated = v t.frames_allocated;
   }
 
 let zero : snapshot =
@@ -178,8 +192,8 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     frames_allocated = a.frames_allocated - b.frames_allocated;
   }
 
-(* Field list shared by the telemetry-registry shim: one counter per
-   snapshot field, under the "vmm." namespace. *)
+(* One name/value pair per snapshot field, under the "vmm." namespace —
+   the same names the live registry carries. *)
 let field_values (s : snapshot) =
   [
     ("vmm.instructions", s.instructions);
@@ -204,39 +218,15 @@ let field_values (s : snapshot) =
     ("vmm.frames_allocated", s.frames_allocated);
   ]
 
-let to_metrics ?(registry = Telemetry.Metrics.create ()) s =
+let accumulate registry (s : snapshot) =
   List.iter
     (fun (name, v) ->
-      Telemetry.Metrics.set_counter (Telemetry.Metrics.counter registry name) v)
-    (field_values s);
-  registry
+      Telemetry.Metrics.incr ~by:v (Telemetry.Metrics.counter registry name))
+    (field_values s)
 
-let of_metrics registry =
-  let get name =
-    Telemetry.Metrics.counter_value (Telemetry.Metrics.counter registry name)
-  in
-  {
-    instructions = get "vmm.instructions";
-    loads = get "vmm.loads";
-    stores = get "vmm.stores";
-    tlb_hits = get "vmm.tlb_hits";
-    tlb_misses = get "vmm.tlb_misses";
-    tlb_flushes = get "vmm.tlb_flushes";
-    tlb_shootdowns = get "vmm.tlb_shootdowns";
-    tlb_shootdown_pages = get "vmm.tlb_shootdown_pages";
-    cache_hits = get "vmm.cache_hits";
-    cache_misses = get "vmm.cache_misses";
-    syscalls_mmap = get "vmm.syscalls_mmap";
-    syscalls_mremap = get "vmm.syscalls_mremap";
-    syscalls_mprotect = get "vmm.syscalls_mprotect";
-    syscalls_munmap = get "vmm.syscalls_munmap";
-    syscalls_dummy = get "vmm.syscalls_dummy";
-    faults = get "vmm.faults";
-    syscalls_failed = get "vmm.syscalls_failed";
-    syscall_retries = get "vmm.syscall_retries";
-    pages_mapped = get "vmm.pages_mapped";
-    frames_allocated = get "vmm.frames_allocated";
-  }
+let snapshot_to_json s =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) (field_values s))
 
 let sum (a : snapshot) (b : snapshot) : snapshot =
   {

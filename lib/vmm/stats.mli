@@ -3,7 +3,14 @@
     Every MMU access, TLB lookup, syscall and fault is counted here; the
     {!Cost_model} turns a snapshot of these counters into simulated
     cycles.  Counters are monotonically increasing; use {!snapshot} and
-    {!diff} to measure a region of execution. *)
+    {!diff} to measure a region of execution.
+
+    The counters live directly in a {!Telemetry.Metrics} registry (names
+    ["vmm.loads"], ["vmm.faults"], ...): the count sites in
+    {!Kernel}/{!Mmu} write through handles cached at creation time, so
+    there is no separate sync step and the registry exporters always see
+    the live values.  [t] itself is just that bundle of cached handles;
+    {!snapshot} is the read-only view the rest of the system consumes. *)
 
 type t
 
@@ -43,7 +50,17 @@ type snapshot = {
   frames_allocated : int;  (** physical frames ever allocated, cumulative *)
 }
 
-val create : unit -> t
+val create : ?registry:Telemetry.Metrics.t -> unit -> t
+(** Fresh counters (all zero) in a fresh registry by default.  Passing
+    [registry] attaches to (get-or-creates the ["vmm.*"] counters of) an
+    existing registry; if those counters already hold counts, the new
+    handle keeps accumulating on top — which is how several machines can
+    share one registry deliberately.  Note that {!Machine.cycles} prices
+    the whole snapshot, so a shared registry makes per-machine cycle
+    readings cumulative. *)
+
+val registry : t -> Telemetry.Metrics.t
+(** The live registry behind the counters. *)
 
 val count_instructions : t -> int -> unit
 val count_load : t -> unit
@@ -78,18 +95,15 @@ val sum : snapshot -> snapshot -> snapshot
 val total_syscalls : snapshot -> int
 val pp : Format.formatter -> snapshot -> unit
 
-(** {2 Telemetry-registry shim}
-
-    A snapshot is equivalently a set of counters in a
-    {!Telemetry.Metrics} registry (names ["vmm.loads"],
-    ["vmm.faults"], ...).  [of_metrics (to_metrics s) = s], so
-    {!diff}/{!pp} compose with the registry exporters. *)
-
 val field_values : snapshot -> (string * int) list
-(** Counter name/value pairs, in declaration order. *)
+(** Counter name/value pairs under the ["vmm."] namespace (the same
+    names the live registry carries), in declaration order. *)
 
-val to_metrics : ?registry:Telemetry.Metrics.t -> snapshot -> Telemetry.Metrics.t
-(** Write every field into [registry] (fresh one by default). *)
+val accumulate : Telemetry.Metrics.t -> snapshot -> unit
+(** Add every field of the snapshot onto the registry's ["vmm.*"]
+    counters (get-or-create).  Used by aggregators that sum many
+    short-lived machines — e.g. one forked connection each — into one
+    mergeable registry. *)
 
-val of_metrics : Telemetry.Metrics.t -> snapshot
-(** Read the fields back; unregistered counters read as 0. *)
+val snapshot_to_json : snapshot -> Telemetry.Json.t
+(** [{"vmm.instructions": n, ...}] — a flat counter object. *)

@@ -534,10 +534,15 @@ let oracle_one ~ctx ~expect_elision source bug =
   in
   check_violations_covered ~ctx:(ctx ^ "/full") r viol_full;
   (* static-elision scheme: same contract, plus detection must survive *)
-  let static_scheme, stats =
+  let static_scheme =
     Runtime.Schemes.shadow_pool_static
       ~elide:(Minic.Dangling.elide_policy r)
       (Vmm.Machine.create ())
+  in
+  let stats () =
+    match Runtime.Schemes.introspect static_scheme with
+    | Runtime.Schemes.Shadow_pool_static { elision; _ } -> elision ()
+    | _ -> assert false
   in
   let out_static, viol_static = run_with_hook transformed static_scheme in
   check_violations_covered ~ctx:(ctx ^ "/static") r viol_static;

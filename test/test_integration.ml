@@ -130,9 +130,9 @@ let test_long_lived_pool_mitigation_in_server () =
   let m = Machine.create () in
   let scheme = Runtime.Schemes.shadow_pool m in
   let pool =
-    match Runtime.Schemes.shadow_pool_global scheme with
-    | Some p -> p
-    | None -> Alcotest.fail "no global pool"
+    match Runtime.Schemes.introspect scheme with
+    | Runtime.Schemes.Shadow_pool { global; _ } -> global
+    | _ -> Alcotest.fail "no global pool"
   in
   let policy =
     Shadow.Reuse_policy.create

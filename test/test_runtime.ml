@@ -55,16 +55,25 @@ let test_shadow_pool_scheme_detects () =
    | exception Shadow.Report.Violation _ -> ());
   check_bool "guarantee flag" true s.Runtime.Scheme.guarantees_detection
 
-let test_shadow_pool_global_lookup () =
+let test_scheme_introspection () =
   let m = Machine.create () in
   let s = Runtime.Schemes.shadow_pool m in
-  check_bool "global pool reachable" true
-    (Runtime.Schemes.shadow_pool_global s <> None);
-  check_bool "recycler reachable" true
-    (Runtime.Schemes.shadow_pool_recycler s <> None);
+  (match Runtime.Schemes.introspect s with
+   | Runtime.Schemes.Shadow_pool _ -> ()
+   | _ -> Alcotest.fail "shadow-pool should expose its pool and recycler");
+  let st =
+    Runtime.Schemes.shadow_pool_static
+      ~elide:(fun _ -> false)
+      (Machine.create ())
+  in
+  (match Runtime.Schemes.introspect st with
+   | Runtime.Schemes.Shadow_pool_static { elision; _ } ->
+     let e = elision () in
+     check_int "no allocs yet" 0 e.Runtime.Schemes.protected_allocs
+   | _ -> Alcotest.fail "static scheme should expose elision stats");
   let native = Runtime.Schemes.native (Machine.create ()) in
-  check_bool "native has none" true
-    (Runtime.Schemes.shadow_pool_global native = None)
+  check_bool "native is opaque" true
+    (Runtime.Schemes.introspect native = Runtime.Schemes.Opaque)
 
 let test_compute_accounting () =
   let m = Machine.create () in
@@ -186,8 +195,8 @@ let () =
           Alcotest.test_case "pa VA reuse" `Quick test_pa_pool_destroy_reuses_va;
           Alcotest.test_case "shadow-pool detects" `Quick
             test_shadow_pool_scheme_detects;
-          Alcotest.test_case "global pool lookup" `Quick
-            test_shadow_pool_global_lookup;
+          Alcotest.test_case "scheme introspection" `Quick
+            test_scheme_introspection;
           Alcotest.test_case "compute accounting" `Quick
             test_compute_accounting;
         ]

@@ -1,12 +1,12 @@
 (* Tests for the telemetry subsystem: the ring buffer, log-bucketed
-   histograms against a sorted-array oracle, the metrics registry and
-   its Vmm.Stats shim, exporter well-formedness, and the event stream a
-   traced machine actually produces. *)
+   histograms against a sorted-array oracle, histogram/registry merge
+   semantics (associative, order-independent — the farm's join-time
+   contract), the metrics registry backing Vmm.Stats, exporter
+   well-formedness, and the event stream a traced machine produces. *)
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
 let check_bool = check Alcotest.bool
-let check_string = check Alcotest.string
 
 (* ---- Ring ---- *)
 
@@ -71,6 +71,141 @@ let test_histogram_counts () =
   check (Alcotest.float 1e-9) "p100 is max" 100.0
     (Telemetry.Histogram.percentile h 1.0)
 
+(* ---- Merge semantics ---- *)
+
+let hist_of values =
+  let h = Telemetry.Histogram.create () in
+  List.iter (Telemetry.Histogram.observe h) values;
+  h
+
+let check_hist_equal label a b =
+  check_int (label ^ ": count") (Telemetry.Histogram.count a)
+    (Telemetry.Histogram.count b);
+  check (Alcotest.float 1e-6) (label ^ ": sum") (Telemetry.Histogram.sum a)
+    (Telemetry.Histogram.sum b);
+  check (Alcotest.float 1e-9) (label ^ ": min")
+    (Telemetry.Histogram.min_value a)
+    (Telemetry.Histogram.min_value b);
+  check (Alcotest.float 1e-9) (label ^ ": max")
+    (Telemetry.Histogram.max_value a)
+    (Telemetry.Histogram.max_value b);
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "%s: p%.0f" label (q *. 100.))
+        (Telemetry.Histogram.percentile a q)
+        (Telemetry.Histogram.percentile b q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_histogram_merge_is_union =
+  QCheck.Test.make ~count:100
+    ~name:"histogram merge = histogram of concatenated samples"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 80) (float_range 0.0 1e6))
+        (list_of_size Gen.(0 -- 80) (float_range 0.0 1e6)))
+    (fun (xs, ys) ->
+      let merged = Telemetry.Histogram.merge (hist_of xs) (hist_of ys) in
+      let oracle = hist_of (xs @ ys) in
+      check_hist_equal "merge" oracle merged;
+      true)
+
+let test_histogram_merge_order_independent =
+  QCheck.Test.make ~count:100
+    ~name:"histogram merge is associative and order-independent"
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 50) (float_range 0.0 1e6))
+        (list_of_size Gen.(0 -- 50) (float_range 0.0 1e6))
+        (list_of_size Gen.(0 -- 50) (float_range 0.0 1e6)))
+    (fun (xs, ys, zs) ->
+      let h () = (hist_of xs, hist_of ys, hist_of zs) in
+      let a, b, c = h () in
+      let left = Telemetry.Histogram.merge (Telemetry.Histogram.merge a b) c in
+      let a, b, c = h () in
+      let right = Telemetry.Histogram.merge a (Telemetry.Histogram.merge b c) in
+      let a, b, c = h () in
+      let reversed =
+        Telemetry.Histogram.merge c (Telemetry.Histogram.merge b a)
+      in
+      check_hist_equal "assoc" left right;
+      check_hist_equal "reorder" left reversed;
+      true)
+
+let test_histogram_merge_bpo_mismatch () =
+  let a = Telemetry.Histogram.create ~buckets_per_octave:16 () in
+  let b = Telemetry.Histogram.create ~buckets_per_octave:8 () in
+  match Telemetry.Histogram.merge a b with
+  | _ -> Alcotest.fail "bpo mismatch should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_merge_into_empty () =
+  (* Merging an empty histogram is the identity, in both directions. *)
+  let a = hist_of [ 3.0; 5.0; 0.0 ] in
+  let empty = Telemetry.Histogram.create () in
+  check_hist_equal "empty right" a (Telemetry.Histogram.merge a empty);
+  check_hist_equal "empty left" a (Telemetry.Histogram.merge empty a)
+
+let registry_a () =
+  let m = Telemetry.Metrics.create () in
+  Telemetry.Metrics.incr ~by:3 (Telemetry.Metrics.counter m "reqs");
+  Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge m "depth") 2.0;
+  List.iter
+    (Telemetry.Histogram.observe (Telemetry.Metrics.histogram m "lat"))
+    [ 1.0; 8.0 ];
+  m
+
+let registry_b () =
+  let m = Telemetry.Metrics.create () in
+  Telemetry.Metrics.incr ~by:4 (Telemetry.Metrics.counter m "reqs");
+  Telemetry.Metrics.incr ~by:2 (Telemetry.Metrics.counter m "errors");
+  Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge m "depth") 5.0;
+  List.iter
+    (Telemetry.Histogram.observe (Telemetry.Metrics.histogram m "lat"))
+    [ 2.0; 64.0; 100.0 ];
+  m
+
+let test_metrics_merge () =
+  let into = registry_a () in
+  Telemetry.Metrics.merge ~into (registry_b ());
+  check_int "counters add" 7
+    (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter into "reqs"));
+  check_int "missing counters appear" 2
+    (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter into "errors"));
+  check (Alcotest.float 1e-9) "gauges take the max" 5.0
+    (Telemetry.Metrics.gauge_value (Telemetry.Metrics.gauge into "depth"));
+  check_hist_equal "histograms merge"
+    (hist_of [ 1.0; 8.0; 2.0; 64.0; 100.0 ])
+    (Telemetry.Metrics.histogram into "lat")
+
+let test_metrics_merge_order_independent () =
+  (* a<-b and b<-a hold the same values under every shared name. *)
+  let ab = registry_a () in
+  Telemetry.Metrics.merge ~into:ab (registry_b ());
+  let ba = registry_b () in
+  Telemetry.Metrics.merge ~into:ba (registry_a ());
+  List.iter
+    (fun name ->
+      check_int ("counter " ^ name)
+        (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter ab name))
+        (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter ba name)))
+    [ "reqs"; "errors" ];
+  check (Alcotest.float 1e-9) "gauge depth"
+    (Telemetry.Metrics.gauge_value (Telemetry.Metrics.gauge ab "depth"))
+    (Telemetry.Metrics.gauge_value (Telemetry.Metrics.gauge ba "depth"));
+  check_hist_equal "hist lat"
+    (Telemetry.Metrics.histogram ab "lat")
+    (Telemetry.Metrics.histogram ba "lat")
+
+let test_metrics_merge_kind_mismatch () =
+  let into = Telemetry.Metrics.create () in
+  ignore (Telemetry.Metrics.counter into "x");
+  let src = Telemetry.Metrics.create () in
+  Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge src "x") 1.0;
+  match Telemetry.Metrics.merge ~into src with
+  | () -> Alcotest.fail "kind mismatch should raise"
+  | exception Invalid_argument _ -> ()
+
 (* ---- Metrics registry ---- *)
 
 let test_metrics_registry () =
@@ -104,9 +239,9 @@ let test_metrics_json_parses () =
      | Some (Telemetry.Json.Obj [ ("n", Telemetry.Json.Int 7) ]) -> ()
      | _ -> Alcotest.fail "counters object wrong")
 
-(* ---- Vmm.Stats shim ---- *)
+(* ---- Vmm.Stats counts live in the telemetry registry ---- *)
 
-let busy_snapshot () =
+let busy_machine () =
   let m = Vmm.Machine.create () in
   let a = Vmm.Kernel.mmap m ~pages:2 in
   for i = 0 to 63 do
@@ -116,22 +251,41 @@ let busy_snapshot () =
     ignore (Vmm.Mmu.load m (a + (8 * i)) ~width:8)
   done;
   Vmm.Kernel.munmap m ~addr:a ~pages:2;
-  Vmm.Stats.snapshot m.Vmm.Machine.stats
+  m
 
-let test_stats_roundtrip () =
-  let s = busy_snapshot () in
+let test_stats_count_into_registry () =
+  let m = busy_machine () in
+  let s = Vmm.Stats.snapshot m.Vmm.Machine.stats in
   check_bool "exercised" true (s.Vmm.Stats.loads > 0);
-  let back = Vmm.Stats.of_metrics (Vmm.Stats.to_metrics s) in
-  check_bool "of_metrics (to_metrics s) = s" true (back = s);
-  (* diff and pp compose with the shim: a diff pushed through the
-     registry prints the same as the diff itself. *)
-  let d = Vmm.Stats.diff s Vmm.Stats.zero in
-  let via_shim = Vmm.Stats.of_metrics (Vmm.Stats.to_metrics d) in
-  check_string "pp round-trip"
-    (Format.asprintf "%a" Vmm.Stats.pp d)
-    (Format.asprintf "%a" Vmm.Stats.pp via_shim);
-  check_bool "empty registry reads as zero" true
-    (Vmm.Stats.of_metrics (Telemetry.Metrics.create ()) = Vmm.Stats.zero)
+  (* No sync step: the machine's registry already holds every counter
+     the snapshot reports, under the same names field_values uses. *)
+  let registry = Vmm.Stats.registry m.Vmm.Machine.stats in
+  List.iter
+    (fun (name, v) ->
+      check_int name v
+        (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter registry name)))
+    (Vmm.Stats.field_values s);
+  (* And the snapshot is a faithful read-only view: counting more shows
+     up in the next snapshot but never mutates an old one. *)
+  let loads_before = s.Vmm.Stats.loads in
+  ignore (Vmm.Mmu.load m (Vmm.Kernel.mmap m ~pages:1) ~width:8);
+  check_int "old snapshot unchanged" loads_before s.Vmm.Stats.loads;
+  check_int "new snapshot sees the load" (loads_before + 1)
+    (Vmm.Stats.snapshot m.Vmm.Machine.stats).Vmm.Stats.loads
+
+let test_stats_accumulate () =
+  (* Summing snapshots and accumulating into one registry agree — the
+     farm's per-shard aggregation path. *)
+  let s1 = Vmm.Stats.snapshot (busy_machine ()).Vmm.Machine.stats in
+  let s2 = Vmm.Stats.snapshot (busy_machine ()).Vmm.Machine.stats in
+  let acc = Telemetry.Metrics.create () in
+  Vmm.Stats.accumulate acc s1;
+  Vmm.Stats.accumulate acc s2;
+  List.iter
+    (fun (name, v) ->
+      check_int name v
+        (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter acc name)))
+    (Vmm.Stats.field_values (Vmm.Stats.sum s1 s2))
 
 (* ---- Sink + instrumented machine ---- *)
 
@@ -282,8 +436,26 @@ let () =
           Alcotest.test_case "json export parses" `Quick
             test_metrics_json_parses;
         ] );
-      ( "stats-shim",
-        [ Alcotest.test_case "round-trip" `Quick test_stats_roundtrip ] );
+      ( "merge",
+        [
+          QCheck_alcotest.to_alcotest test_histogram_merge_is_union;
+          QCheck_alcotest.to_alcotest test_histogram_merge_order_independent;
+          Alcotest.test_case "bpo mismatch raises" `Quick
+            test_histogram_merge_bpo_mismatch;
+          Alcotest.test_case "empty is identity" `Quick
+            test_histogram_merge_into_empty;
+          Alcotest.test_case "registry merge" `Quick test_metrics_merge;
+          Alcotest.test_case "registry merge order-independent" `Quick
+            test_metrics_merge_order_independent;
+          Alcotest.test_case "registry kind mismatch raises" `Quick
+            test_metrics_merge_kind_mismatch;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counts land in the registry" `Quick
+            test_stats_count_into_registry;
+          Alcotest.test_case "accumulate = sum" `Quick test_stats_accumulate;
+        ] );
       ( "sink",
         [
           Alcotest.test_case "disabled records nothing" `Quick
