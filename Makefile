@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke faults-smoke farm-smoke lint-smoke lint-src check clean
+.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke lint-smoke lint-src check clean
 
 all: build
 
@@ -31,6 +31,12 @@ faults-smoke:
 # contract itself is enforced by test/test_farm.ml and bench-smoke).
 farm-smoke:
 	dune exec bin/danguard.exe -- farm ghttpd --shards 2 -c 12 --probe-every 4
+
+# Fleet crash-report smoke: a recoverable-mode farm run with seeded
+# probes over 2 injection sites; the command exits nonzero if any
+# violation escapes recovery or any seeded probe goes unreported.
+report-smoke:
+	dune exec bin/danguard.exe -- report ghttpd --shards 2 -c 16 --probe-every 4 --sites 2
 
 # Static-analysis CLI smoke: exit codes (0 clean/may, 3 must-UAF) and
 # the machine-readable output pinned by the golden files.
@@ -65,6 +71,7 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) faults-smoke
 	$(MAKE) farm-smoke
+	$(MAKE) report-smoke
 
 clean:
 	dune clean

@@ -434,7 +434,7 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~static_elision ~resilience ~farm =
+    ~static_elision ~resilience ~farm ~fleet =
   let doc =
     J.Obj
       [
@@ -453,6 +453,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
         ("static_elision", static_elision);
         ("resilience", resilience);
         ("farm", farm);
+        ("fleet_report", fleet);
       ]
   in
   Out_channel.with_open_text out (fun oc ->
@@ -500,6 +501,7 @@ let () =
   let fastpath = Fastpath.run ~smoke:!smoke () in
   let static_elision = Static_elision.run () in
   let farm = Farm.run ~smoke:!smoke () in
+  let fleet = Fleet_report.run ~smoke:!smoke () in
   let bechamel =
     match Sys.getenv_opt "SKIP_BECHAMEL" with
     | Some _ ->
@@ -516,5 +518,5 @@ let () =
       ]
     ~costs ~bechamel ~fastpath ~static_elision
     ~resilience:(Harness.Resilience.to_json resilience)
-    ~farm;
+    ~farm ~fleet;
   print_endline "\nAll sections complete."

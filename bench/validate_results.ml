@@ -193,8 +193,78 @@ let () =
              (farm_int row "syscalls") s0)
        rest
    | [] -> ());
+  (* Fleet crash reports: eight runs (2 policies x 4 shard counts) in
+     recoverable mode.  The determinism contract is byte-level — every
+     run's canonical ranked report must be identical — and the seeded
+     probes must all surface, deduped to exactly one signature per
+     injection site with the seeded count. *)
+  let fleet = member "" doc "fleet_report" in
+  let fleet_rows =
+    non_empty_list "fleet_report.rows" (member "fleet_report" fleet "rows")
+  in
+  if List.length fleet_rows <> 8 then
+    fail "fleet_report has %d rows (want 2 policies x 4 shard counts = 8)"
+      (List.length fleet_rows);
+  let fleet_int path row k =
+    match member path row k with
+    | J.Int n -> n
+    | _ -> fail "%s.%s is not an int" path k
+  in
+  let fleet_str path row k =
+    match member path row k with
+    | J.String s -> s
+    | _ -> fail "%s.%s is not a string" path k
+  in
+  let expected_probes = fleet_int "fleet_report" fleet "expected_probes" in
+  let expected_sites =
+    non_empty_list "fleet_report.expected_sites"
+      (member "fleet_report" fleet "expected_sites")
+  in
+  let canonical0 = fleet_str "fleet_report.rows[]" (List.hd fleet_rows) "canonical" in
+  List.iter
+    (fun row ->
+      let where =
+        Printf.sprintf "%s/%d shards"
+          (fleet_str "fleet_report.rows[]" row "policy")
+          (fleet_int "fleet_report.rows[]" row "shards")
+      in
+      if fleet_int "fleet_report.rows[]" row "detections" <> 0 then
+        fail "fleet run %s: a violation escaped recovery" where;
+      if fleet_int "fleet_report.rows[]" row "total_reports" <> expected_probes
+      then
+        fail "fleet run %s reported %d of %d seeded probes" where
+          (fleet_int "fleet_report.rows[]" row "total_reports")
+          expected_probes;
+      if fleet_str "fleet_report.rows[]" row "canonical" <> canonical0 then
+        fail "fleet run %s: ranked report differs from the first run's" where)
+    fleet_rows;
+  let fleet_entries =
+    non_empty_list "fleet_report.entries" (member "fleet_report" fleet "entries")
+  in
+  if List.length fleet_entries <> List.length expected_sites then
+    fail "fleet report has %d signatures for %d seeded sites"
+      (List.length fleet_entries)
+      (List.length expected_sites);
+  List.iter
+    (fun site ->
+      let alloc = fleet_str "fleet_report.expected_sites[]" site "alloc_site" in
+      let want = fleet_int "fleet_report.expected_sites[]" site "count" in
+      match
+        List.filter
+          (fun e ->
+            fleet_str "fleet_report.entries[]" e "alloc_site" = alloc)
+          fleet_entries
+      with
+      | [ e ] ->
+        if fleet_int "fleet_report.entries[]" e "count" <> want then
+          fail "fleet site %s has count %d (seeded %d)" alloc
+            (fleet_int "fleet_report.entries[]" e "count")
+            want
+      | [] -> fail "seeded site %s missing from the fleet report" alloc
+      | _ -> fail "seeded site %s appears under several signatures" alloc)
+    expected_sites;
   Printf.printf
     "validate: %s OK (%d fastpath rows, %d elision rows, %d resilience rows, \
-     %d farm rows)\n"
+     %d farm rows, %d fleet runs)\n"
     file (List.length rows) (List.length se_rows) (List.length res_rows)
-    (List.length farm_rows)
+    (List.length farm_rows) (List.length fleet_rows)

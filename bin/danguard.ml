@@ -608,16 +608,38 @@ let farm_cmd =
          & info [ "policy" ] ~docv:"POLICY"
              ~doc:"Connection scheduler: round-robin or work-steal.")
   in
-  let run name shards connections probe_every policy config seed json =
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace of the run to $(docv), one lane \
+                   per shard (open in about://tracing or Perfetto).")
+  in
+  let run name shards connections probe_every policy config seed json
+      trace_file =
     if shards < 1 then `Error (false, "--shards must be at least 1")
     else
       match Workload.Catalog.find_server name with
       | None -> `Error (false, "unknown server " ^ name)
       | Some server ->
+        let trace_capacity = if trace_file = None then 0 else 65536 in
         let r =
-          Farm.run_server ~policy ~seed ~probe_every ~config ?connections
-            ~shards server
+          Farm.run_server ~policy ~seed ~probe_every ~trace_capacity ~config
+            ?connections ~shards server
         in
+        (match trace_file with
+         | None -> ()
+         | Some path ->
+           (* pid 0 renders oddly in trace viewers; lanes are 1-based *)
+           let groups =
+             List.map
+               (fun (shard, events) -> (shard + 1, 1, events))
+               r.Farm.traces
+           in
+           Out_channel.with_open_text path (fun oc ->
+               Out_channel.output_string oc
+                 (Telemetry.Export.to_chrome_string_grouped
+                    ~name_of_pid:(fun pid -> Printf.sprintf "shard %d" (pid - 1))
+                    groups)));
         let label = Harness.Experiment.config_label config in
         if json then
           print_endline
@@ -686,7 +708,127 @@ let farm_cmd =
         (const run $ server_name $ shards $ connections $ probe_every $ policy
          $ config_arg
          $ seed_arg ~default:0x5eed ~doc:"Connection-shuffle seed."
-         $ json_arg))
+         $ json_arg $ trace_file))
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let module Farm = Danguard_farm.Farm in
+  let module Scheduler = Danguard_farm.Scheduler in
+  let server_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SERVER"
+             ~doc:"Server daemon name (see $(b,danguard list)).")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Number of shard domains.")
+  in
+  let connections =
+    Arg.(value & opt (some int) None
+         & info [ "c"; "connections" ] ~docv:"M"
+             ~doc:"Total connections to serve (default: the server's).")
+  in
+  let probe_every =
+    Arg.(value & opt int 4
+         & info [ "probe-every" ] ~docv:"K"
+             ~doc:"Seed a dangling-use probe on every K-th connection \
+                   (0 = none).")
+  in
+  let probe_sites =
+    Arg.(value & opt int 4
+         & info [ "sites" ] ~docv:"S"
+             ~doc:"Spread the probes over S distinct injection sites, \
+                   each its own bug flavour.")
+  in
+  let policy =
+    let policies =
+      [ ("round-robin", Scheduler.Round_robin);
+        ("work-steal", Scheduler.Work_steal) ]
+    in
+    Arg.(value & opt (enum policies) Scheduler.Round_robin
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Connection scheduler: round-robin or work-steal.")
+  in
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Emit the merged metrics registry (including the \
+                   per-signature crash counters) in Prometheus text \
+                   exposition format instead of the dashboard.")
+  in
+  let run name shards connections probe_every probe_sites policy config seed
+      json prometheus =
+    if shards < 1 then `Error (false, "--shards must be at least 1")
+    else if probe_sites < 1 then `Error (false, "--sites must be at least 1")
+    else
+      match Workload.Catalog.find_server name with
+      | None -> `Error (false, "unknown server " ^ name)
+      | Some server ->
+        let r =
+          Farm.run_server ~policy ~seed ~probe_every ~probe_sites
+            ~recover:true ~config ?connections ~shards server
+        in
+        let served = r.Farm.totals.Farm.connections in
+        let expected_probes =
+          if probe_every <= 0 then 0 else (served + probe_every - 1) / probe_every
+        in
+        let label = Harness.Experiment.config_label config in
+        if prometheus then
+          print_string (Telemetry.Export.to_prometheus r.Farm.registry)
+        else if json then
+          print_endline
+            (J.to_string
+               (J.Obj
+                  [
+                    ("server", J.String name);
+                    ("scheme", J.String label);
+                    ("shards", J.Int r.Farm.shards);
+                    ("policy", J.String (Scheduler.policy_label r.Farm.policy));
+                    ("seed", J.Int r.Farm.seed);
+                    ("connections", J.Int served);
+                    ("probe_every", J.Int probe_every);
+                    ("probe_sites", J.Int probe_sites);
+                    ("detections", J.Int r.Farm.totals.Farm.detections);
+                    ("report", Fleet.Crash.to_json r.Farm.crashes);
+                  ]))
+        else begin
+          Printf.printf
+            "fleet crash report: %s under %s, %d connections over %d shards \
+             (%s, seed 0x%x)\n\n"
+            name label served r.Farm.shards
+            (Scheduler.policy_label r.Farm.policy)
+            r.Farm.seed;
+          print_string (Fleet.Crash.render r.Farm.crashes)
+        end;
+        (* Self-checks: the recoverable wrapper must keep every child
+           alive, and a seeded run must surface every probe. *)
+        if r.Farm.totals.Farm.detections > 0 then
+          `Error
+            ( false,
+              Printf.sprintf "%d violation(s) escaped recovery and killed \
+                              their connection"
+                r.Farm.totals.Farm.detections )
+        else if
+          probe_every > 0
+          && r.Farm.crashes.Fleet.Crash.total_reports < expected_probes
+        then
+          `Error
+            ( false,
+              Printf.sprintf "expected %d probe report(s), got %d"
+                expected_probes r.Farm.crashes.Fleet.Crash.total_reports )
+        else `Ok ()
+  in
+  cmd "report"
+    ~doc:"Run a server farm in recoverable (log-don't-abort) mode with \
+          seeded dangling-use probes and print the ranked fleet crash \
+          dashboard: unique stack signatures by report count."
+    Term.(
+      ret
+        (const run $ server_name $ shards $ connections $ probe_every
+         $ probe_sites $ policy $ config_arg
+         $ seed_arg ~default:0x5eed ~doc:"Connection-shuffle seed."
+         $ json_arg $ prometheus))
 
 (* ---- help ---- *)
 
@@ -730,7 +872,7 @@ let main_cmd =
     [
       table_cmd; addr_space_cmd; detect_cmd; faults_cmd; exhaustion_cmd;
       run_cmd; list_cmd; compile_cmd; lint_cmd; trace_cmd; demo_cmd; farm_cmd;
-      help_cmd;
+      report_cmd; help_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -27,6 +27,7 @@ type shard_report = {
   served : int;
   busy_cycles : float;
   shard_detections : int;
+  shard_crashes : int;  (** crash reports recorded by this shard's sink *)
 }
 
 type result = {
@@ -42,30 +43,68 @@ type result = {
       (** percentiles of the merged per-connection cycles histogram *)
   per_shard : shard_report list;
   registry : Telemetry.Metrics.t;
-      (** the merged registry: "farm.*" plus the children's "vmm.*" *)
+      (** the merged registry: "farm.*", the children's "vmm.*", and the
+          "fleet.*" crash counters of {!crashes} *)
+  crashes : Fleet.Crash.fleet_report;
+      (** per-shard crash sinks merged at join — ranked, deduped by
+          stack signature, deterministic for any (shards, policy) *)
+  traces : (int * Telemetry.Event.t list) list;
+      (** per-shard [(shard, events)] when [trace_capacity] > 0 (feed to
+          {!Telemetry.Export.chrome_trace_grouped}); [[]] otherwise *)
 }
+
+val probe_site : probe_sites:int -> probe_every:int -> int -> int
+(** The injection site the probe appended to connection [conn]
+    exercises (0 when [probe_sites] is 1).  A pure function of the
+    connection index, exported so callers — the report CLI, the bench
+    validator — can compute the exact expected site population of a
+    seeded run. *)
 
 val run :
   ?policy:Scheduler.policy ->
   ?seed:int ->
   ?probe_every:int ->
-  make_scheme:(shard:int -> unit -> Runtime.Scheme.t) ->
+  ?probe_sites:int ->
+  ?recover:bool ->
+  ?trace_capacity:int ->
+  make_scheme:(shard:int -> trace:Telemetry.Sink.t -> unit -> Runtime.Scheme.t) ->
   handler:(int -> Runtime.Scheme.t -> unit) ->
   shards:int ->
   connections:int ->
   unit ->
   result
-(** Serve [connections] across [shards] domains.  [probe_every] > 0
-    appends a malloc/store/free/load-after-free probe to every k-th
+(** Serve [connections] across [shards] domains.
+
+    [probe_every] > 0 appends a dangling-use probe to every k-th
     connection (by index, so probed connections are the same set at any
     shard count): detecting schemes record them as detections, others
-    silently read reused memory.  Default policy {!Scheduler.Round_robin},
-    seed [0x5eed], no probes. *)
+    silently read reused memory.  [probe_sites] (default 1) spreads the
+    probes geometrically over that many distinct injection sites, each
+    with its own bug flavour (use-after-free read/write, double free) —
+    the seeded workload for the fleet crash dashboard.
+
+    [recover] wraps every connection's scheme in
+    {!Runtime.Schemes.recoverable}: violations are recorded in the
+    shard's crash sink and the connection {e finishes}; [detections]
+    stays 0 because no child dies.  Without it, the report a dying
+    child was caught with is recorded instead, so the crash pipeline
+    sees every violation in both modes.
+
+    [trace_capacity] > 0 attaches one event ring of that capacity per
+    shard, with timestamps offset to the shard's busy-cycle clock so
+    each shard renders as a monotone trace lane.
+
+    [make_scheme] receives the serving shard and the shard's trace sink
+    (a disabled sink when tracing is off).  Default policy
+    {!Scheduler.Round_robin}, seed [0x5eed], no probes. *)
 
 val run_server :
   ?policy:Scheduler.policy ->
   ?seed:int ->
   ?probe_every:int ->
+  ?probe_sites:int ->
+  ?recover:bool ->
+  ?trace_capacity:int ->
   ?config:Harness.Experiment.config ->
   ?connections:int ->
   shards:int ->

@@ -1,0 +1,259 @@
+type report = {
+  kind : string;
+  fault_addr : Vmm.Addr.t;
+  offset : int option;
+  object_size : int option;
+  alloc_site : string;
+  free_site : string;
+  scheme : string;
+  shard : int;
+  at_cycles : int;
+}
+
+let of_violation ~scheme ~shard ~at_cycles (v : Shadow.Report.t) =
+  let kind = Shadow.Report.kind_label v.Shadow.Report.kind in
+  match v.Shadow.Report.object_info with
+  | Some info ->
+    {
+      kind;
+      fault_addr = v.Shadow.Report.fault_addr;
+      offset = Some info.Shadow.Report.offset;
+      object_size = Some info.Shadow.Report.size;
+      alloc_site = info.Shadow.Report.alloc_site;
+      free_site = Option.value info.Shadow.Report.free_site ~default:"<none>";
+      scheme;
+      shard;
+      at_cycles;
+    }
+  | None ->
+    {
+      kind;
+      fault_addr = v.Shadow.Report.fault_addr;
+      offset = None;
+      object_size = None;
+      alloc_site = "<unknown>";
+      free_site = "<none>";
+      scheme;
+      shard;
+      at_cycles;
+    }
+
+(* FNV-1a, 64-bit.  Stable across runs and OCaml versions — unlike
+   [Hashtbl.hash] — because crash signatures outlive the process: they
+   are dashboard keys and dedup identities in stored reports. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a acc s =
+  String.fold_left
+    (fun h c -> Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) fnv_prime)
+    acc s
+
+let signature r =
+  fnv1a fnv_offset (r.kind ^ "|" ^ r.alloc_site ^ "|" ^ r.free_site)
+
+let signature_hex s = Printf.sprintf "%016Lx" s
+
+type sink = { mutable rev_reports : report list; mutable n : int }
+
+let create_sink () = { rev_reports = []; n = 0 }
+
+let record t r =
+  t.rev_reports <- r :: t.rev_reports;
+  t.n <- t.n + 1
+
+let sink_reports t = List.rev t.rev_reports
+let sink_count t = t.n
+
+type entry = {
+  e_signature : int64;
+  e_kind : string;
+  e_alloc_site : string;
+  e_free_site : string;
+  count : int;
+  shards : int list;
+  first_seen : int;
+  last_seen : int;
+  sample : report;
+}
+
+type fleet_report = { entries : entry list; total_reports : int }
+
+(* Accumulator per signature while folding over the report multiset. *)
+type acc = {
+  mutable a_count : int;
+  mutable a_shards : (int, unit) Hashtbl.t;
+  mutable a_first : int;
+  mutable a_last : int;
+  mutable a_sample : report;
+}
+
+(* The exemplar must not depend on sink order, so pick by a
+   shard-invariant key; fall back to shard only on a full tie, where
+   every canonical field of the two candidates already agrees. *)
+let sample_key r = (r.at_cycles, r.fault_addr, r.shard)
+
+let merge sinks =
+  let by_sig : (int64, acc) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0 in
+  List.iter
+    (fun sink ->
+      List.iter
+        (fun r ->
+          incr total;
+          let s = signature r in
+          match Hashtbl.find_opt by_sig s with
+          | None ->
+            let shards = Hashtbl.create 4 in
+            Hashtbl.replace shards r.shard ();
+            Hashtbl.replace by_sig s
+              {
+                a_count = 1;
+                a_shards = shards;
+                a_first = r.at_cycles;
+                a_last = r.at_cycles;
+                a_sample = r;
+              }
+          | Some a ->
+            a.a_count <- a.a_count + 1;
+            Hashtbl.replace a.a_shards r.shard ();
+            if r.at_cycles < a.a_first then a.a_first <- r.at_cycles;
+            if r.at_cycles > a.a_last then a.a_last <- r.at_cycles;
+            if compare (sample_key r) (sample_key a.a_sample) < 0 then
+              a.a_sample <- r)
+        (sink_reports sink))
+    sinks;
+  let entries =
+    Hashtbl.fold
+      (fun s a es ->
+        {
+          e_signature = s;
+          e_kind = a.a_sample.kind;
+          e_alloc_site = a.a_sample.alloc_site;
+          e_free_site = a.a_sample.free_site;
+          count = a.a_count;
+          shards =
+            List.sort compare
+              (Hashtbl.fold (fun sh () l -> sh :: l) a.a_shards []);
+          first_seen = a.a_first;
+          last_seen = a.a_last;
+          sample = a.a_sample;
+        }
+        :: es)
+      by_sig []
+  in
+  let entries =
+    (* Rank by count, then by bug identity — never by anything shard
+       placement can perturb (see [impact]). *)
+    List.sort
+      (fun a b ->
+        match compare b.count a.count with
+        | 0 ->
+          compare
+            (a.e_kind, a.e_alloc_site, a.e_free_site)
+            (b.e_kind, b.e_alloc_site, b.e_free_site)
+        | c -> c)
+      entries
+  in
+  { entries; total_reports = !total }
+
+let impact e = e.count * List.length e.shards
+
+let canonical_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "fleet-report v1 signatures=%d reports=%d\n"
+       (List.length t.entries) t.total_reports);
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf "%d|%s|%d|%d|%d|%s|%s|%s\n" (i + 1)
+           (signature_hex e.e_signature)
+           e.count e.first_seen e.last_seen e.e_kind e.e_alloc_site
+           e.e_free_site))
+    t.entries;
+  Buffer.contents b
+
+let render t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-4s %-16s %6s %6s %6s  %-23s %-14s %-14s %10s %10s\n"
+       "rank" "signature" "count" "shards" "impact" "kind" "alloc site"
+       "free site" "first" "last");
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf "%-4d %-16s %6d %6d %6d  %-23s %-14s %-14s %10d %10d\n"
+           (i + 1)
+           (signature_hex e.e_signature)
+           e.count (List.length e.shards) (impact e) e.e_kind e.e_alloc_site
+           e.e_free_site e.first_seen e.last_seen))
+    t.entries;
+  Buffer.add_string b
+    (Printf.sprintf "%d report(s), %d unique signature(s)\n" t.total_reports
+       (List.length t.entries));
+  Buffer.contents b
+
+let report_to_json (r : report) =
+  let opt = function None -> Telemetry.Json.Null | Some i -> Telemetry.Json.Int i in
+  Telemetry.Json.Obj
+    [
+      ("kind", Telemetry.Json.String r.kind);
+      ("fault_addr", Telemetry.Json.Int r.fault_addr);
+      ("offset", opt r.offset);
+      ("object_size", opt r.object_size);
+      ("alloc_site", Telemetry.Json.String r.alloc_site);
+      ("free_site", Telemetry.Json.String r.free_site);
+      ("scheme", Telemetry.Json.String r.scheme);
+      ("shard", Telemetry.Json.Int r.shard);
+      ("at_cycles", Telemetry.Json.Int r.at_cycles);
+    ]
+
+let to_json t =
+  Telemetry.Json.Obj
+    [
+      ("total_reports", Telemetry.Json.Int t.total_reports);
+      ("signatures", Telemetry.Json.Int (List.length t.entries));
+      ( "entries",
+        Telemetry.Json.List
+          (List.mapi
+             (fun i e ->
+               Telemetry.Json.Obj
+                 [
+                   ("rank", Telemetry.Json.Int (i + 1));
+                   ( "signature",
+                     Telemetry.Json.String (signature_hex e.e_signature) );
+                   ("kind", Telemetry.Json.String e.e_kind);
+                   ("alloc_site", Telemetry.Json.String e.e_alloc_site);
+                   ("free_site", Telemetry.Json.String e.e_free_site);
+                   ("count", Telemetry.Json.Int e.count);
+                   ( "shards",
+                     Telemetry.Json.List
+                       (List.map (fun s -> Telemetry.Json.Int s) e.shards) );
+                   ("impact", Telemetry.Json.Int (impact e));
+                   ("first_seen", Telemetry.Json.Int e.first_seen);
+                   ("last_seen", Telemetry.Json.Int e.last_seen);
+                   ("sample", report_to_json e.sample);
+                 ])
+             t.entries) );
+    ]
+
+let register_metrics registry t =
+  List.iter
+    (fun e ->
+      let name =
+        Printf.sprintf
+          "fleet.crash_total{signature=\"%s\",kind=\"%s\",alloc_site=\"%s\"}"
+          (signature_hex e.e_signature)
+          e.e_kind e.e_alloc_site
+      in
+      Telemetry.Metrics.set_counter
+        (Telemetry.Metrics.counter registry name)
+        e.count)
+    t.entries;
+  Telemetry.Metrics.set_counter
+    (Telemetry.Metrics.counter registry "fleet.reports_total")
+    t.total_reports;
+  Telemetry.Metrics.set_gauge
+    (Telemetry.Metrics.gauge registry "fleet.signatures")
+    (float_of_int (List.length t.entries))

@@ -38,11 +38,7 @@ let trace_free machine site addr =
 
 let trace_violation machine (r : Shadow.Report.t) =
   Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
-      Telemetry.Event.Violation
-        {
-          kind = Shadow.Report.kind_label r.Shadow.Report.kind;
-          addr = r.Shadow.Report.fault_addr;
-        })
+      Shadow.Report.to_event r)
 
 let guarded_load machine registry addr ~width =
   try

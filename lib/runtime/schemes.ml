@@ -23,6 +23,13 @@ type elision_stats = {
   protected_frees : int;
 }
 
+type recovery_stats = {
+  recovered_loads : int;
+  recovered_stores : int;
+  recovered_frees : int;
+  pages_unprotected : int;
+}
+
 type info =
   | Opaque
   | Shadow_pool of {
@@ -33,6 +40,10 @@ type info =
       global : Shadow.Shadow_pool.t;
       recycler : Apa.Page_recycler.t;
       elision : unit -> elision_stats;
+    }
+  | Recoverable of {
+      base : Scheme.t;
+      recovery : unit -> recovery_stats;
     }
 
 (* The private carrier on the scheme record; [introspect] is the only
@@ -116,11 +127,7 @@ let pa ?(dummy_syscalls = false) machine =
 
 let trace_violation machine (r : Shadow.Report.t) =
   Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
-      Telemetry.Event.Violation
-        {
-          kind = Shadow.Report.kind_label r.Shadow.Report.kind;
-          addr = r.Shadow.Report.fault_addr;
-        })
+      Shadow.Report.to_event r)
 
 let guarded_load machine registry addr ~width =
   try
@@ -243,6 +250,83 @@ let shadow_pool_spatial ?(bounds_check_cost = 6) machine =
       (fun addr ~width v ->
         check Perm.Write addr width;
         base.Scheme.store addr ~width v);
+  }
+
+(* The paper's "log in production" variant: a violation is reported to
+   the caller's sink instead of tearing the worker down.  Recovery
+   mirrors what a SEGV handler can actually do — lift the protection on
+   the faulting page and restart the instruction — so a recovered read
+   returns the (stale) bytes still sitting on the shared physical page.
+   Violations raised by software checks (spatial bounds, free-path
+   registry checks) have nothing to unprotect: the access or free is
+   simply dropped, with loads yielding 0. *)
+let recoverable ?(on_report = fun (_ : Shadow.Report.t) -> ())
+    (base : Scheme.t) =
+  let machine = base.Scheme.machine in
+  let recovered_loads = ref 0 in
+  let recovered_stores = ref 0 in
+  let recovered_frees = ref 0 in
+  let pages_unprotected = ref 0 in
+  (* True when a retry of the faulting access can now succeed. *)
+  let unprotect_fault fault_addr =
+    match Kernel.page_perm machine fault_addr with
+    | Some Perm.No_access ->
+      Kernel.mprotect machine ~addr:(Addr.page_base fault_addr) ~pages:1
+        Perm.Read_write;
+      incr pages_unprotected;
+      true
+    | Some _ -> true (* software check fired; page was never protected *)
+    | None -> false (* wild access: nothing is mapped there *)
+  in
+  let load addr ~width =
+    try base.Scheme.load addr ~width
+    with Shadow.Report.Violation r ->
+      on_report r;
+      incr recovered_loads;
+      if unprotect_fault r.Shadow.Report.fault_addr then
+        (* A software re-raise (e.g. the spatial bounds check) fires
+           again on retry; it was already reported, so drop it. *)
+        try base.Scheme.load addr ~width
+        with Shadow.Report.Violation _ -> 0
+      else 0
+  in
+  let store addr ~width v =
+    try base.Scheme.store addr ~width v
+    with Shadow.Report.Violation r ->
+      on_report r;
+      incr recovered_stores;
+      if unprotect_fault r.Shadow.Report.fault_addr then (
+        try base.Scheme.store addr ~width v
+        with Shadow.Report.Violation _ -> ())
+  in
+  (* A trapping free (double or invalid) leaves the heap untouched, so
+     recovery is simply to skip it. *)
+  let wrap_free free ?site a =
+    try free ?site a
+    with Shadow.Report.Violation r ->
+      on_report r;
+      incr recovered_frees
+  in
+  let wrap_handle (h : Scheme.pool_handle) =
+    { h with Scheme.pool_free = wrap_free h.Scheme.pool_free }
+  in
+  let recovery () =
+    {
+      recovered_loads = !recovered_loads;
+      recovered_stores = !recovered_stores;
+      recovered_frees = !recovered_frees;
+      pages_unprotected = !pages_unprotected;
+    }
+  in
+  {
+    base with
+    Scheme.name = base.Scheme.name ^ "+recover";
+    load;
+    store;
+    free = wrap_free base.Scheme.free;
+    pool_create =
+      (fun ?elem_size () -> wrap_handle (base.Scheme.pool_create ?elem_size ()));
+    introspection = Info (Recoverable { base; recovery });
   }
 
 (* Shadow-pool with a per-malloc-site protection policy from the static

@@ -33,6 +33,13 @@ type elision_stats = {
   protected_frees : int;
 }
 
+type recovery_stats = {
+  recovered_loads : int;   (** loads that trapped and were resumed *)
+  recovered_stores : int;  (** stores that trapped and were resumed *)
+  recovered_frees : int;   (** double/invalid frees that were skipped *)
+  pages_unprotected : int; (** pages whose protection was lifted *)
+}
+
 (** What {!introspect} reveals about a scheme's internals. *)
 type info =
   | Opaque  (** nothing beyond the {!Scheme.t} record's own fields *)
@@ -48,6 +55,11 @@ type info =
       recycler : Apa.Page_recycler.t;
       elision : unit -> elision_stats;
           (** aggregate elision counts so far *)
+    }
+  | Recoverable of {
+      base : Scheme.t;
+      recovery : unit -> recovery_stats;
+          (** aggregate recovery counts so far *)
     }
 
 val introspect : Scheme.t -> info
@@ -70,6 +82,20 @@ val shadow_pool_static :
     including any the policy does not recognise, keep the full scheme,
     so detection at May/Must sites is exactly as in {!shadow_pool}.
     Elision counts are available via {!introspect}. *)
+
+val recoverable :
+  ?on_report:(Shadow.Report.t -> unit) -> Scheme.t -> Scheme.t
+(** The paper's "log in production" deployment: wraps any detecting
+    scheme so a {!Shadow.Report.Violation} is passed to [on_report] and
+    the workload {e continues} instead of unwinding — what a production
+    SEGV handler does when configured to log rather than abort.  A
+    trapping access lifts the protection on the faulting page (the
+    stale bytes on the shared physical page become readable again) and
+    retries once; a wild access yields 0 on load and drops the store; a
+    double or invalid free is skipped.  The base scheme's own violation
+    trace event has already been emitted when [on_report] runs, so the
+    wrapper never re-traces.  Recovery counts are available via
+    {!introspect}. *)
 
 val shadow_pool_spatial :
   ?bounds_check_cost:int -> Vmm.Machine.t -> Scheme.t

@@ -31,6 +31,24 @@ let kind_label = function
   | Out_of_bounds Vmm.Perm.Read -> "out-of-bounds read"
   | Out_of_bounds Vmm.Perm.Write -> "out-of-bounds write"
 
+let all_kinds =
+  [
+    Use_after_free Vmm.Perm.Read;
+    Use_after_free Vmm.Perm.Write;
+    Double_free;
+    Invalid_free;
+    Wild_access Vmm.Perm.Read;
+    Wild_access Vmm.Perm.Write;
+    Out_of_bounds Vmm.Perm.Read;
+    Out_of_bounds Vmm.Perm.Write;
+  ]
+
+let kind_of_label label =
+  List.find_opt (fun k -> String.equal (kind_label k) label) all_kinds
+
+let to_event t =
+  Telemetry.Event.Violation { kind = kind_label t.kind; addr = t.fault_addr }
+
 let pp ppf t =
   Format.fprintf ppf "%s at %a" (kind_label t.kind) Vmm.Addr.pp t.fault_addr;
   match t.object_info with

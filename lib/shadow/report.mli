@@ -37,5 +37,21 @@ exception Violation of t
     handler aborting (or logging and recovering in) the process. *)
 
 val kind_label : kind -> string
+(** The canonical label for a violation kind: the {e single} source of
+    the stringly-typed kind carried by [Telemetry.Event.Violation]
+    events and by fleet crash signatures ([Fleet.Crash]), so traces and
+    crash reports can never drift apart.  Labels are distinct across
+    kinds and round-trip through {!kind_of_label}. *)
+
+val all_kinds : kind list
+(** Every constructor, for exhaustiveness checks and round-tripping. *)
+
+val kind_of_label : string -> kind option
+(** Inverse of {!kind_label}; [None] for a string no kind produces. *)
+
+val to_event : t -> Telemetry.Event.kind
+(** The telemetry event for this violation — the one constructor every
+    tracing site uses, so event kinds come from {!kind_label}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

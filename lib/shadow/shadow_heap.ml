@@ -84,8 +84,7 @@ let violation kind fault_addr info =
 
 let trace_violation t (r : Report.t) =
   Telemetry.Sink.emit_always t.machine.Machine.trace (fun () ->
-      Telemetry.Event.Violation
-        { kind = Report.kind_label r.Report.kind; addr = r.Report.fault_addr })
+      Report.to_event r)
 
 (* Locate the object a free argument refers to.  Reading the bookkeeping
    word is itself the double-free check: a freed object's shadow page is

@@ -42,6 +42,120 @@ let chrome_trace ?(pid = 1) ?(tid = 1) events =
 let to_chrome_string ?pid ?tid events =
   Json.to_string (chrome_trace ?pid ?tid events)
 
+(* Farm traces: one (pid, tid, events) group per shard so the viewer
+   renders one lane per shard instead of piling every domain's events
+   onto pid 1/tid 1.  A ["ph": "M"] process_name metadata record per
+   distinct pid gives the lanes their labels. *)
+let chrome_trace_grouped ?(name_of_pid = Printf.sprintf "shard %d") groups =
+  let pids = List.sort_uniq compare (List.map (fun (pid, _, _) -> pid) groups) in
+  let meta =
+    List.map
+      (fun pid ->
+        Json.Obj
+          [
+            ("name", Json.String "process_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int pid);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.String (name_of_pid pid)) ]);
+          ])
+      pids
+  in
+  let events =
+    List.concat_map
+      (fun (pid, tid, events) -> List.map (chrome_event ~pid ~tid) events)
+      groups
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome_string_grouped ?name_of_pid groups =
+  Json.to_string (chrome_trace_grouped ?name_of_pid groups)
+
+(* Prometheus text exposition.  Registry names may carry a label block
+   verbatim — [fleet.crash_total{signature="...",kind="..."}] — which
+   passes through untouched; only the base name is sanitised to the
+   [a-zA-Z_:][a-zA-Z0-9_:]* grammar. *)
+let prom_sanitize name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  match mapped.[0] with
+  | '0' .. '9' -> "_" ^ mapped
+  | _ -> mapped
+  | exception Invalid_argument _ -> "_"
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_prometheus metrics =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line base kind =
+    if not (Hashtbl.mem typed base) then begin
+      Hashtbl.replace typed base ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  (* Splice extra labels (e.g. quantile) into an existing label block. *)
+  let with_label labels extra =
+    match labels with
+    | "" -> "{" ^ extra ^ "}"
+    | l -> String.sub l 0 (String.length l - 1) ^ "," ^ extra ^ "}"
+  in
+  List.iter
+    (fun name ->
+      let base, labels =
+        match String.index_opt name '{' with
+        | Some i ->
+          ( prom_sanitize (String.sub name 0 i),
+            String.sub name i (String.length name - i) )
+        | None -> (prom_sanitize name, "")
+      in
+      match Metrics.value metrics name with
+      | None -> ()
+      | Some (Metrics.Counter_v v) ->
+        let base =
+          if
+            String.length base >= 6
+            && String.sub base (String.length base - 6) 6 = "_total"
+          then base
+          else base ^ "_total"
+        in
+        type_line base "counter";
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels v)
+      | Some (Metrics.Gauge_v v) ->
+        type_line base "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" base labels (prom_float v))
+      | Some (Metrics.Hist_v h) ->
+        type_line base "summary";
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" base
+                 (with_label labels (Printf.sprintf "quantile=\"%g\"" q))
+                 (prom_float (Histogram.percentile h q))))
+          [ 0.5; 0.9; 0.99 ];
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" base labels
+             (prom_float
+                (Histogram.mean h *. float_of_int (Histogram.count h))));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" base labels (Histogram.count h)))
+    (Metrics.names metrics);
+  Buffer.contents buf
+
 let to_text events =
   let buf = Buffer.create 1024 in
   List.iter

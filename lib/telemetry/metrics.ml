@@ -64,6 +64,15 @@ let histogram ?buckets_per_octave t name =
 
 let names t = List.rev t.rev_names
 
+type value = Counter_v of int | Gauge_v of float | Hist_v of Histogram.t
+
+let value t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> None
+  | Some (Counter c) -> Some (Counter_v c.c_value)
+  | Some (Gauge g) -> Some (Gauge_v g.g_value)
+  | Some (Hist h) -> Some (Hist_v h)
+
 let merge ~into src =
   List.iter
     (fun name ->

@@ -29,6 +29,14 @@ val histogram : ?buckets_per_octave:int -> t -> string -> Histogram.t
 val names : t -> string list
 (** Registered metric names, in registration order. *)
 
+(** A metric's current value, for exporters that walk a registry
+    generically ({!Export.to_prometheus}). *)
+type value = Counter_v of int | Gauge_v of float | Hist_v of Histogram.t
+
+val value : t -> string -> value option
+(** The value registered under [name], if any.  The histogram is the
+    live handle, not a copy. *)
+
 val merge : into:t -> t -> unit
 (** Fold every metric of the source registry into [into], get-or-create
     by name: counters add, gauges take the max, histograms merge sample

@@ -399,6 +399,123 @@ let test_chrome_trace_well_formed () =
          items
      | _ -> Alcotest.fail "traceEvents missing")
 
+let test_histogram_merge_single_bucket () =
+  (* Identical samples occupy one bucket; merging must keep count, sum
+     and quantiles exact (representative clamped to the extrema). *)
+  let m = Telemetry.Histogram.merge (hist_of [ 5.0; 5.0; 5.0 ]) (hist_of [ 5.0 ]) in
+  check_hist_equal "single bucket" (hist_of [ 5.0; 5.0; 5.0; 5.0 ]) m;
+  check (Alcotest.float 1e-9) "p50 exact" 5.0
+    (Telemetry.Histogram.percentile m 0.5);
+  (* and the degenerate empty-into-empty merge stays empty *)
+  let e =
+    Telemetry.Histogram.merge
+      (Telemetry.Histogram.create ())
+      (Telemetry.Histogram.create ())
+  in
+  check_int "empty merge count" 0 (Telemetry.Histogram.count e);
+  check (Alcotest.float 1e-9) "empty merge p99" 0.0
+    (Telemetry.Histogram.percentile e 0.99)
+
+let test_histogram_merge_into_self () =
+  (* Self-merge is well-defined: it doubles the sample multiset. *)
+  let h = hist_of [ 1.0; 2.0; 4.0; 0.0 ] in
+  Telemetry.Histogram.merge_into ~into:h h;
+  check_hist_equal "self-merge doubles"
+    (hist_of [ 1.0; 2.0; 4.0; 0.0; 1.0; 2.0; 4.0; 0.0 ])
+    h
+
+(* The fleet pipeline publishes per-signature crash counters under
+   label-bearing names; merging shard registries must treat them as
+   ordinary counters keyed by the full name. *)
+let crash_name =
+  "fleet.crash_total{signature=\"00d1ab0l1c4l\",kind=\"use-after-free \
+   (read)\",alloc_site=\"srv.c:10\"}"
+
+let test_metrics_merge_crash_counters () =
+  let a = Telemetry.Metrics.create () in
+  Telemetry.Metrics.incr ~by:2 (Telemetry.Metrics.counter a crash_name);
+  Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge a "fleet.signatures") 1.0;
+  let b = Telemetry.Metrics.create () in
+  Telemetry.Metrics.incr ~by:3 (Telemetry.Metrics.counter b crash_name);
+  Telemetry.Metrics.incr ~by:5 (Telemetry.Metrics.counter b "fleet.reports_total");
+  Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge b "fleet.signatures") 2.0;
+  Telemetry.Metrics.merge ~into:a b;
+  check_int "labelled counters add" 5
+    (Telemetry.Metrics.counter_value (Telemetry.Metrics.counter a crash_name));
+  check_int "missing counter appears" 5
+    (Telemetry.Metrics.counter_value
+       (Telemetry.Metrics.counter a "fleet.reports_total"));
+  check (Alcotest.float 1e-9) "gauge takes max" 2.0
+    (Telemetry.Metrics.gauge_value
+       (Telemetry.Metrics.gauge a "fleet.signatures"));
+  check_bool "value accessor sees the counter" true
+    (match Telemetry.Metrics.value a crash_name with
+     | Some (Telemetry.Metrics.Counter_v 5) -> true
+     | _ -> false)
+
+let test_prometheus_export () =
+  let m = Telemetry.Metrics.create () in
+  Telemetry.Metrics.incr ~by:7 (Telemetry.Metrics.counter m crash_name);
+  Telemetry.Metrics.incr ~by:9 (Telemetry.Metrics.counter m "farm.connections");
+  Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge m "farm.max_va_bytes") 4096.0;
+  List.iter
+    (Telemetry.Histogram.observe (Telemetry.Metrics.histogram m "farm.latency_cycles"))
+    [ 10.0; 20.0; 30.0 ];
+  let text = Telemetry.Export.to_prometheus m in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "labelled crash counter line" true
+    (has
+       "fleet_crash_total{signature=\"00d1ab0l1c4l\",kind=\"use-after-free \
+        (read)\",alloc_site=\"srv.c:10\"} 7");
+  check_bool "crash counter TYPE line" true
+    (has "# TYPE fleet_crash_total counter");
+  check_bool "counter gets _total suffix" true (has "farm_connections_total 9");
+  check_bool "gauge line" true (has "farm_max_va_bytes 4096");
+  check_bool "gauge TYPE line" true (has "# TYPE farm_max_va_bytes gauge");
+  check_bool "summary TYPE line" true
+    (has "# TYPE farm_latency_cycles summary");
+  check_bool "summary quantile label" true
+    (has "farm_latency_cycles{quantile=\"0.5\"}");
+  check_bool "summary count" true (has "farm_latency_cycles_count 3");
+  check_bool "summary sum" true (has "farm_latency_cycles_sum 60")
+
+let test_chrome_trace_grouped () =
+  let events = traced_events () in
+  let groups = [ (1, 1, events); (2, 1, events) ] in
+  match
+    Telemetry.Json.of_string
+      (Telemetry.Export.to_chrome_string_grouped groups)
+  with
+  | Error e -> Alcotest.fail ("grouped chrome trace does not parse: " ^ e)
+  | Ok j ->
+    (match Telemetry.Json.member "traceEvents" j with
+     | Some (Telemetry.Json.List items) ->
+       let phase item =
+         match Telemetry.Json.member "ph" item with
+         | Some (Telemetry.Json.String s) -> s
+         | _ -> "?"
+       in
+       let pid item =
+         match Telemetry.Json.member "pid" item with
+         | Some (Telemetry.Json.Int p) -> p
+         | _ -> -1
+       in
+       let meta, insts = List.partition (fun i -> phase i = "M") items in
+       check_int "one process_name record per shard lane" 2 (List.length meta);
+       check_bool "metadata names the lanes" true
+         (List.sort compare (List.map pid meta) = [ 1; 2 ]);
+       check_int "every event in some lane" (2 * List.length events)
+         (List.length insts);
+       check_int "lane 1 carries its events" (List.length events)
+         (List.length (List.filter (fun i -> pid i = 1) insts));
+       check_int "lane 2 carries its events" (List.length events)
+         (List.length (List.filter (fun i -> pid i = 2) insts))
+     | _ -> Alcotest.fail "traceEvents missing")
+
 let test_json_roundtrip =
   QCheck.Test.make ~count:200 ~name:"json print/parse round-trip"
     QCheck.(
@@ -444,7 +561,13 @@ let () =
             test_histogram_merge_bpo_mismatch;
           Alcotest.test_case "empty is identity" `Quick
             test_histogram_merge_into_empty;
+          Alcotest.test_case "single bucket and empty edges" `Quick
+            test_histogram_merge_single_bucket;
+          Alcotest.test_case "merge into self doubles" `Quick
+            test_histogram_merge_into_self;
           Alcotest.test_case "registry merge" `Quick test_metrics_merge;
+          Alcotest.test_case "crash counters merge" `Quick
+            test_metrics_merge_crash_counters;
           Alcotest.test_case "registry merge order-independent" `Quick
             test_metrics_merge_order_independent;
           Alcotest.test_case "registry kind mismatch raises" `Quick
@@ -469,6 +592,10 @@ let () =
           Alcotest.test_case "jsonl" `Quick test_jsonl_well_formed;
           Alcotest.test_case "chrome trace" `Quick
             test_chrome_trace_well_formed;
+          Alcotest.test_case "chrome trace shard lanes" `Quick
+            test_chrome_trace_grouped;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_export;
           QCheck_alcotest.to_alcotest test_json_roundtrip;
         ] );
     ]
