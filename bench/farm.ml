@@ -48,6 +48,35 @@ let run ~smoke () =
           ])
       results
   in
+  (* The same farm under the epoch-batched scheme, kept as a separate
+     row list: detections must match the eager rows above connection
+     for connection, while protection batching cuts the syscall totals
+     — the validator pins both. *)
+  print_endline "  -- epoch-batched scheme (shadow-pool+epoch) --";
+  let epoch_rows =
+    List.map
+      (fun shards ->
+        let r =
+          F.run_server ~policy:Scheduler.Round_robin ~seed ~probe_every
+            ~config:Harness.Experiment.Ours_epoch ~shards ~connections
+            Workload.Servers.ghttpd
+        in
+        Printf.printf "  %-7d %14.0f %12.3f %8s %11d %9d %12.0f\n" r.F.shards
+          r.F.makespan_cycles r.F.throughput "-" r.F.totals.F.detections
+          r.F.totals.F.syscalls r.F.latency.Harness.Latency.q99;
+        J.Obj
+          [
+            ("shards", J.Int r.F.shards);
+            ("makespan_cycles", J.Float r.F.makespan_cycles);
+            ("throughput_conn_per_mcycle", J.Float r.F.throughput);
+            ("connections", J.Int r.F.totals.F.connections);
+            ("detections", J.Int r.F.totals.F.detections);
+            ("syscalls", J.Int r.F.totals.F.syscalls);
+            ("latency_p50", J.Float r.F.latency.Harness.Latency.q50);
+            ("latency_p99", J.Float r.F.latency.Harness.Latency.q99);
+          ])
+      shard_counts
+  in
   J.Obj
     [
       ("server", J.String "ghttpd");
@@ -56,4 +85,5 @@ let run ~smoke () =
       ("probe_every", J.Int probe_every);
       ("seed", J.Int seed);
       ("rows", J.List rows);
+      ("epoch_rows", J.List epoch_rows);
     ]

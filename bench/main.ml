@@ -434,7 +434,7 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~static_elision ~resilience ~farm ~fleet =
+    ~static_elision ~epoch_batching ~resilience ~farm ~fleet =
   let doc =
     J.Obj
       [
@@ -451,6 +451,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
                bechamel) );
         ("fastpath", fastpath);
         ("static_elision", static_elision);
+        ("epoch_batching", epoch_batching);
         ("resilience", resilience);
         ("farm", farm);
         ("fleet_report", fleet);
@@ -500,6 +501,7 @@ let () =
   run_ablations ();
   let fastpath = Fastpath.run ~smoke:!smoke () in
   let static_elision = Static_elision.run () in
+  let epoch_batching = Epoch_batching.run ~smoke:!smoke () in
   let farm = Farm.run ~smoke:!smoke () in
   let fleet = Fleet_report.run ~smoke:!smoke () in
   let bechamel =
@@ -516,7 +518,7 @@ let () =
         ("table2", Harness.Table2.to_json t2);
         ("table3", Harness.Table3.to_json t3);
       ]
-    ~costs ~bechamel ~fastpath ~static_elision
+    ~costs ~bechamel ~fastpath ~static_elision ~epoch_batching
     ~resilience:(Harness.Resilience.to_json resilience)
     ~farm ~fleet;
   print_endline "\nAll sections complete."

@@ -193,6 +193,91 @@ let () =
              (farm_int row "syscalls") s0)
        rest
    | [] -> ());
+  (* Epoch-batched farm rows: the same server set under the epoch
+     scheme must keep the eager rows' detections (batching never costs
+     a detection) while doing strictly fewer syscalls, and must be just
+     as deterministic across shard counts. *)
+  let epoch_farm_rows =
+    non_empty_list "farm.epoch_rows" (member "farm" farm "epoch_rows")
+  in
+  (match (farm_rows, epoch_farm_rows) with
+   | base :: _, ebase :: erest ->
+     let d0 = farm_int base "detections" and s0 = farm_int base "syscalls" in
+     let ed0 = farm_int ebase "detections" in
+     let es0 = farm_int ebase "syscalls" in
+     if ed0 <> d0 then
+       fail "epoch farm detections %d differ from eager %d" ed0 d0;
+     if es0 >= s0 then
+       fail "epoch farm did not cut syscalls (%d vs eager %d)" es0 s0;
+     List.iter
+       (fun row ->
+         if farm_int row "detections" <> ed0 then
+           fail "epoch farm detections differ across shard counts (%d vs %d)"
+             (farm_int row "detections") ed0;
+         if farm_int row "syscalls" <> es0 then
+           fail "epoch farm syscalls differ across shard counts (%d vs %d)"
+             (farm_int row "syscalls") es0)
+       erest
+   | _ -> ());
+  (* Epoch batching: the headline perf invariant — on the churn
+     workload the epoch scheme must spend at most a tenth of the eager
+     scheme's protection syscalls per heap op (the design target), and
+     no workload may exceed a quarter.  The soundness half: every
+     quarantine-window probe detected through its expected path, no
+     protect ever silently dropped. *)
+  let epoch = member "" doc "epoch_batching" in
+  let epoch_rows =
+    non_empty_list "epoch_batching.rows" (member "epoch_batching" epoch "rows")
+  in
+  let erow_str row k =
+    match member "epoch_batching.rows[]" row k with
+    | J.String s -> s
+    | _ -> fail "epoch_batching.rows[].%s is not a string" k
+  in
+  let erow_num row k =
+    match member "epoch_batching.rows[]" row k with
+    | J.Float f -> f
+    | J.Int n -> float_of_int n
+    | _ -> fail "epoch_batching.rows[].%s is not a number" k
+  in
+  List.iter
+    (fun row ->
+      let w = erow_str row "workload" in
+      let ratio = erow_num row "ratio" in
+      if ratio > 0.25 then
+        fail "epoch batching on %s saved too little (ratio %.3f > 0.25)" w ratio;
+      if w = "churn" && ratio > 0.1 then
+        fail "epoch batching on churn is under 10x (ratio %.3f > 0.1)" ratio;
+      if erow_num row "failed_protects" > 0.0 then
+        fail "epoch batching on %s dropped a protection" w)
+    epoch_rows;
+  if not (List.exists (fun row -> erow_str row "workload" = "churn") epoch_rows)
+  then fail "epoch_batching has no churn row";
+  ignore
+    (non_empty_list "epoch_batching.sweep" (member "epoch_batching" epoch "sweep"));
+  let epoch_probes =
+    non_empty_list "epoch_batching.probes"
+      (member "epoch_batching" epoch "probes")
+  in
+  List.iter
+    (fun probe ->
+      let pname =
+        match member "epoch_batching.probes[]" probe "name" with
+        | J.String s -> s
+        | _ -> "?"
+      in
+      (match member "epoch_batching.probes[]" probe "detected" with
+       | J.Bool true -> ()
+       | _ -> fail "epoch probe %s not detected" pname);
+      let via = erow_str probe "via" in
+      let want = erow_str probe "expected_via" in
+      if via <> want then
+        fail "epoch probe %s detected via %s (expected %s)" pname via want)
+    epoch_probes;
+  (match member "epoch_batching" epoch "missed_probes" with
+   | J.Int 0 -> ()
+   | J.Int n -> fail "epoch batching missed %d quarantine-window probes" n
+   | _ -> fail "epoch_batching.missed_probes is not an int");
   (* Fleet crash reports: eight runs (2 policies x 4 shard counts) in
      recoverable mode.  The determinism contract is byte-level — every
      run's canonical ranked report must be identical — and the seeded
@@ -264,7 +349,7 @@ let () =
       | _ -> fail "seeded site %s appears under several signatures" alloc)
     expected_sites;
   Printf.printf
-    "validate: %s OK (%d fastpath rows, %d elision rows, %d resilience rows, \
-     %d farm rows, %d fleet runs)\n"
-    file (List.length rows) (List.length se_rows) (List.length res_rows)
-    (List.length farm_rows) (List.length fleet_rows)
+    "validate: %s OK (%d fastpath rows, %d elision rows, %d epoch rows, \
+     %d resilience rows, %d farm rows, %d fleet runs)\n"
+    file (List.length rows) (List.length se_rows) (List.length epoch_rows)
+    (List.length res_rows) (List.length farm_rows) (List.length fleet_rows)

@@ -25,6 +25,7 @@ let scheme_names =
     ("ours", Harness.Experiment.Ours);
     ("ours-basic", Harness.Experiment.Ours_basic);
     ("ours-bounds", Harness.Experiment.Ours_spatial);
+    ("ours-epoch", Harness.Experiment.Ours_epoch);
     ("efence", Harness.Experiment.Efence);
     ("valgrind", Harness.Experiment.Valgrind);
     ("capability", Harness.Experiment.Capability);
@@ -673,6 +674,10 @@ let farm_cmd =
                                ])
                            r.Farm.per_shard) );
                     ("stats", Vmm.Stats.snapshot_to_json r.Farm.totals.Farm.stats);
+                    ( "syscalls_per_op",
+                      match Vmm.Stats.syscalls_per_op r.Farm.totals.Farm.stats with
+                      | Some v -> J.Float v
+                      | None -> J.Null );
                   ]))
         else begin
           Printf.printf
@@ -790,6 +795,7 @@ let report_cmd =
                     ("probe_every", J.Int probe_every);
                     ("probe_sites", J.Int probe_sites);
                     ("detections", J.Int r.Farm.totals.Farm.detections);
+                    ("derived", Telemetry.Export.derived_to_json r.Farm.registry);
                     ("report", Fleet.Crash.to_json r.Farm.crashes);
                   ]))
         else begin
@@ -799,6 +805,10 @@ let report_cmd =
             name label served r.Farm.shards
             (Scheduler.policy_label r.Farm.policy)
             r.Farm.seed;
+          (match Vmm.Stats.syscalls_per_op r.Farm.totals.Farm.stats with
+           | Some v ->
+             Printf.printf "protection syscalls/op: %.4f\n\n" v
+           | None -> ());
           print_string (Fleet.Crash.render r.Farm.crashes)
         end;
         (* Self-checks: the recoverable wrapper must keep every child

@@ -25,7 +25,8 @@ let measure ?connections (server : Workload.Spec.server) =
     server.Workload.Spec.handler i scheme;
     (match Runtime.Schemes.introspect scheme with
      | Runtime.Schemes.Shadow_pool { global; recycler }
-     | Runtime.Schemes.Shadow_pool_static { global; recycler; _ } ->
+     | Runtime.Schemes.Shadow_pool_static { global; recycler; _ }
+     | Runtime.Schemes.Shadow_pool_epoch { global; recycler; _ } ->
        wasted := !wasted + Shadow.Shadow_pool.shadow_pages_live global;
        recycled := !recycled + Apa.Page_recycler.total_recycled_pages recycler
      | Runtime.Schemes.Opaque | Runtime.Schemes.Recoverable _ -> ());

@@ -6,6 +6,7 @@ type config =
   | Ours
   | Ours_basic
   | Ours_spatial
+  | Ours_epoch
   | Efence
   | Valgrind
   | Capability
@@ -26,6 +27,7 @@ let config_label = function
   | Ours -> "our-approach"
   | Ours_basic -> "our-approach (no pools)"
   | Ours_spatial -> "ours+bounds"
+  | Ours_epoch -> "our-approach+epoch"
   | Efence -> "electric-fence"
   | Valgrind -> "valgrind-sim"
   | Capability -> "capability"
@@ -41,7 +43,7 @@ let cost_profile config ~pa_quality_gain =
   | Native -> Vmm.Cost_model.native
   | Llvm_base | Efence | Valgrind | Capability | Ours_basic | Ours_spatial ->
     Vmm.Cost_model.llvm_base
-  | Pa | Pa_dummy | Ours ->
+  | Pa | Pa_dummy | Ours | Ours_epoch ->
     (* Pool allocation changes data layout; the per-workload gain factor
        scales the compiled work (paper: gzip speeds up under PA). *)
     let base = Vmm.Cost_model.llvm_base in
@@ -59,6 +61,7 @@ let make_scheme config ?(pa_quality_gain = 1.0) ?trace () =
   | Ours -> Runtime.Schemes.shadow_pool machine
   | Ours_basic -> Runtime.Schemes.shadow_basic machine
   | Ours_spatial -> Runtime.Schemes.shadow_pool_spatial machine
+  | Ours_epoch -> Runtime.Schemes.shadow_pool_epoch machine
   | Efence -> Baseline.Efence.scheme machine
   | Valgrind -> Baseline.Valgrind_sim.scheme machine
   | Capability -> Baseline.Capability_check.scheme machine

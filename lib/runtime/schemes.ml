@@ -30,6 +30,19 @@ type recovery_stats = {
   pages_unprotected : int;
 }
 
+type epoch_stats = {
+  epochs_retired : int;
+  epoch_retired_frees : int;
+  epoch_pending_frees : int;
+  coalesced_protects : int;
+  epoch_split_retries : int;
+  epoch_failed_protects : int;
+  backstop_hits : int;
+  slab_calls : int;
+  slab_hits : int;
+  slab_misses : int;
+}
+
 type info =
   | Opaque
   | Shadow_pool of {
@@ -40,6 +53,12 @@ type info =
       global : Shadow.Shadow_pool.t;
       recycler : Apa.Page_recycler.t;
       elision : unit -> elision_stats;
+    }
+  | Shadow_pool_epoch of {
+      global : Shadow.Shadow_pool.t;
+      recycler : Apa.Page_recycler.t;
+      epoch : unit -> epoch_stats;
+      drain : unit -> unit;
     }
   | Recoverable of {
       base : Scheme.t;
@@ -65,11 +84,13 @@ let native machine =
         malloc =
           (fun ?(site = "<unknown>") size ->
             let a = Heap.Freelist_malloc.alloc malloc_heap size in
+            Stats.count_alloc_op machine.Machine.stats;
             trace_malloc machine site size a;
             a);
         free =
           (fun ?(site = "<unknown>") a ->
             Heap.Freelist_malloc.dealloc malloc_heap a;
+            Stats.count_free_op machine.Machine.stats;
             trace_free machine site a);
         load = raw_load machine;
         store = raw_store machine;
@@ -100,12 +121,14 @@ let pa ?(dummy_syscalls = false) machine =
         (fun ?(site = "<unknown>") size ->
           pool_syscall_pair machine dummy_syscalls;
           let a = Apa.Pool.alloc pool size in
+          Stats.count_alloc_op machine.Machine.stats;
           trace_malloc machine site size a;
           a);
       pool_free =
         (fun ?(site = "<unknown>") a ->
           pool_syscall_pair machine dummy_syscalls;
           Apa.Pool.dealloc pool a;
+          Stats.count_free_op machine.Machine.stats;
           trace_free machine site a);
       pool_destroy = (fun () -> Apa.Pool.destroy pool);
     }
@@ -394,4 +417,149 @@ let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
     extra_memory_bytes = (fun () -> 0);
     guarantees_detection = true;
     introspection = Info (Shadow_pool_static { global; recycler; elision });
+  }
+
+(* Epoch-batched shadow-pool: frees are quarantined per pool and
+   retired with coalesced mprotects; shadow aliases come from slab
+   pre-aliasing.  Detection inside the quarantine window is carried by
+   a software backstop (the epoch's quarantine table, consulted before
+   every access); after retirement the MMU path is exactly
+   [shadow_pool]'s.  The batched protect goes through [Retry], and a
+   run that still fails is split per object by the epoch — protection
+   is never silently dropped. *)
+let shadow_pool_epoch ?(max_frees = 64) ?(max_pages = 256) ?(slab_copies = 16)
+    ?(backstop_check_cost = 2) machine =
+  let registry = Shadow.Object_registry.create () in
+  let recycler = Apa.Page_recycler.create () in
+  let backstop_hits = ref 0 in
+  let units : (Shadow.Epoch.t * Shadow.Slab.t) list ref = ref [] in
+  let protect ~addr ~pages =
+    Retry.attempt machine (fun () ->
+        Syscalls.mprotect machine ~addr ~pages Perm.No_access)
+  in
+  let make_pool ?elem_size () =
+    let slab = Shadow.Slab.create ~copies:slab_copies machine in
+    let epoch = Shadow.Epoch.create ~max_frees ~max_pages ~protect () in
+    units := (epoch, slab) :: !units;
+    let pool =
+      (* Slab placement supplies the shadow VA, so recycled-VA reuse for
+         shadow ranges is off; canonical pages still recycle normally. *)
+      Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va:false ~recycler
+        ~slab ~registry machine
+    in
+    (pool, epoch)
+  in
+  let wrap_pool (pool, epoch) =
+    {
+      Scheme.pool_alloc =
+        (fun ?site size ->
+          Syscalls.ok_or_raise ~name:"Schemes.shadow_pool_epoch.alloc"
+            (Retry.attempt machine (fun () ->
+                 Shadow.Shadow_pool.try_alloc pool ?site size)));
+      pool_free =
+        (fun ?site a ->
+          let obj = Shadow.Shadow_pool.free_deferred pool ?site a in
+          Shadow.Epoch.enqueue epoch obj ~release:(fun () ->
+              Shadow.Shadow_pool.retire_object pool obj);
+          if Shadow.Epoch.should_retire epoch then Shadow.Epoch.retire epoch);
+      pool_destroy =
+        (fun () ->
+          (* Retire, never abandon: recycling is VA bookkeeping only, so
+             an abandoned quarantine would leave in-window freed pages
+             read-write after the backstop stops watching them — weaker
+             than the eager scheme's post-destroy state. *)
+          Shadow.Epoch.retire epoch;
+          Shadow.Shadow_pool.destroy pool);
+    }
+  in
+  (* The quarantine-window backstop: while any epoch holds pending
+     frees, an access to a quarantined page is a use-after-free the MMU
+     cannot see (the page is still read-write), so it is raised in
+     software with the same diagnostics the trap handler would build. *)
+  let backstop access addr =
+    List.iter
+      (fun ((epoch : Shadow.Epoch.t), _) ->
+        if Shadow.Epoch.pending_frees epoch > 0 then begin
+          Stats.count_instructions machine.Machine.stats backstop_check_cost;
+          match Shadow.Epoch.quarantined_obj epoch addr with
+          | Some obj ->
+            incr backstop_hits;
+            let info =
+              {
+                (Shadow.Detector.object_info obj) with
+                Shadow.Report.offset =
+                  addr - obj.Shadow.Object_registry.user_addr;
+              }
+            in
+            let r =
+              {
+                Shadow.Report.kind = Shadow.Report.Use_after_free access;
+                fault_addr = addr;
+                object_info = Some info;
+              }
+            in
+            trace_violation machine r;
+            raise (Shadow.Report.Violation r)
+          | None -> ()
+        end)
+      !units
+  in
+  let epoch_totals () =
+    List.fold_left
+      (fun acc (e, s) ->
+        {
+          epochs_retired = acc.epochs_retired + Shadow.Epoch.retirements e;
+          epoch_retired_frees =
+            acc.epoch_retired_frees + Shadow.Epoch.retired_frees e;
+          epoch_pending_frees =
+            acc.epoch_pending_frees + Shadow.Epoch.pending_frees e;
+          coalesced_protects =
+            acc.coalesced_protects + Shadow.Epoch.protect_calls e;
+          epoch_split_retries =
+            acc.epoch_split_retries + Shadow.Epoch.split_retries e;
+          epoch_failed_protects =
+            acc.epoch_failed_protects + Shadow.Epoch.failed_protects e;
+          backstop_hits = acc.backstop_hits;
+          slab_calls = acc.slab_calls + Shadow.Slab.slab_calls s;
+          slab_hits = acc.slab_hits + Shadow.Slab.hits s;
+          slab_misses = acc.slab_misses + Shadow.Slab.misses s;
+        })
+      {
+        epochs_retired = 0;
+        epoch_retired_frees = 0;
+        epoch_pending_frees = 0;
+        coalesced_protects = 0;
+        epoch_split_retries = 0;
+        epoch_failed_protects = 0;
+        backstop_hits = !backstop_hits;
+        slab_calls = 0;
+        slab_hits = 0;
+        slab_misses = 0;
+      }
+      !units
+  in
+  let drain () =
+    List.iter (fun (e, _) -> Shadow.Epoch.retire e) !units
+  in
+  let ((global, _) as global_unit) = make_pool () in
+  let global_handle = wrap_pool global_unit in
+  {
+    Scheme.name = "shadow-pool+epoch";
+    machine;
+    malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+    free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+    load =
+      (fun addr ~width ->
+        backstop Perm.Read addr;
+        guarded_load machine registry addr ~width);
+    store =
+      (fun addr ~width v ->
+        backstop Perm.Write addr;
+        guarded_store machine registry addr ~width v);
+    pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+    compute = compute_direct machine;
+    extra_memory_bytes = (fun () -> 0);
+    guarantees_detection = true;
+    introspection =
+      Info (Shadow_pool_epoch { global; recycler; epoch = epoch_totals; drain });
   }

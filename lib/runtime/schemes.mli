@@ -40,6 +40,20 @@ type recovery_stats = {
   pages_unprotected : int; (** pages whose protection was lifted *)
 }
 
+type epoch_stats = {
+  epochs_retired : int;       (** retirements across all of the scheme's pools *)
+  epoch_retired_frees : int;  (** frees fully completed by retirement *)
+  epoch_pending_frees : int;  (** frees still quarantined right now *)
+  coalesced_protects : int;   (** ranged mprotects issued at retirement *)
+  epoch_split_retries : int;  (** per-object protects after a failed batch *)
+  epoch_failed_protects : int;
+      (** objects still unprotected after the split retry (re-quarantined) *)
+  backstop_hits : int;  (** in-window UAFs caught by the software check *)
+  slab_calls : int;     (** vectored slab-alias syscalls issued *)
+  slab_hits : int;      (** allocations served from the slab cache *)
+  slab_misses : int;    (** allocations that had to issue a slab call *)
+}
+
 (** What {!introspect} reveals about a scheme's internals. *)
 type info =
   | Opaque  (** nothing beyond the {!Scheme.t} record's own fields *)
@@ -55,6 +69,15 @@ type info =
       recycler : Apa.Page_recycler.t;
       elision : unit -> elision_stats;
           (** aggregate elision counts so far *)
+    }
+  | Shadow_pool_epoch of {
+      global : Shadow.Shadow_pool.t;
+      recycler : Apa.Page_recycler.t;
+      epoch : unit -> epoch_stats;  (** aggregate batching counts so far *)
+      drain : unit -> unit;
+          (** force-retire every open epoch — a measurement boundary
+              (bench sections) or orderly shutdown, not part of the
+              steady-state protocol *)
     }
   | Recoverable of {
       base : Scheme.t;
@@ -82,6 +105,30 @@ val shadow_pool_static :
     including any the policy does not recognise, keep the full scheme,
     so detection at May/Must sites is exactly as in {!shadow_pool}.
     Elision counts are available via {!introspect}. *)
+
+val shadow_pool_epoch :
+  ?max_frees:int ->
+  ?max_pages:int ->
+  ?slab_copies:int ->
+  ?backstop_check_cost:int ->
+  Vmm.Machine.t ->
+  Scheme.t
+(** {!shadow_pool} with epoch-batched deferred protection
+    ({!Shadow.Epoch}) and slab-preallocated shadow aliases
+    ({!Shadow.Slab}): a free is validated and quarantined instead of
+    mprotected, and when the per-pool epoch fills ([max_frees] frees,
+    default 64, or [max_pages] pages, default 256) retirement issues
+    one coalesced mprotect per merged page run and only then recycles
+    the canonical blocks.  Shadow aliases are drawn [slab_copies]
+    (default 16) at a time from one vectored mremap.  Inside the
+    quarantine window detection is software: every access pays
+    [backstop_check_cost] instructions (default 2, only while an epoch
+    is non-empty) to consult the quarantine table, and a hit raises the
+    same {!Shadow.Report.Violation} the trap handler would.  After
+    retirement detection is byte-for-byte {!shadow_pool}'s.  Batched
+    protects go through {!Retry}; a run that still fails is split and
+    retried per object, and objects that still fail stay quarantined.
+    Batching counters are available via {!introspect}. *)
 
 val recoverable :
   ?on_report:(Shadow.Report.t -> unit) -> Scheme.t -> Scheme.t

@@ -9,14 +9,16 @@ type t = {
   shadow_placer : int -> Addr.t option;
   shadow_unplace : base:Addr.t -> pages:int -> unit;
   on_shadow_range : base:Addr.t -> pages:int -> unit;
+  shadow_alias :
+    (src:Addr.t -> pages:int -> (Addr.t, Fault_plan.error) result) option;
   mutable shadow_pages_created : int;
   mutable unprotected_frees : int;
 }
 
 let create ?(shadow_placer = fun _ -> None)
     ?(shadow_unplace = fun ~base:_ ~pages:_ -> ())
-    ?(on_shadow_range = fun ~base:_ ~pages:_ -> ()) ~registry ~allocator
-    machine =
+    ?(on_shadow_range = fun ~base:_ ~pages:_ -> ()) ?shadow_alias ~registry
+    ~allocator machine =
   {
     machine;
     allocator;
@@ -24,6 +26,7 @@ let create ?(shadow_placer = fun _ -> None)
     shadow_placer;
     shadow_unplace;
     on_shadow_range;
+    shadow_alias;
     shadow_pages_created = 0;
     unprotected_frees = 0;
   }
@@ -50,14 +53,17 @@ let try_malloc t ?(site = "<unknown>") size =
   let pages = Addr.pages_spanning canonical total in
   let src = Addr.page_base canonical in
   let placed =
-    match t.shadow_placer pages with
-    | Some dst ->
-      (match Syscalls.mremap_alias_at t.machine ~src ~dst ~pages with
-       | Ok () -> Ok dst
-       | Error e ->
-         t.shadow_unplace ~base:dst ~pages;
-         Error e)
-    | None -> Syscalls.mremap_alias t.machine ~src ~pages
+    match t.shadow_alias with
+    | Some alias -> alias ~src ~pages
+    | None ->
+      (match t.shadow_placer pages with
+       | Some dst ->
+         (match Syscalls.mremap_alias_at t.machine ~src ~dst ~pages with
+          | Ok () -> Ok dst
+          | Error e ->
+            t.shadow_unplace ~base:dst ~pages;
+            Error e)
+       | None -> Syscalls.mremap_alias t.machine ~src ~pages)
   in
   match placed with
   | Error e ->
@@ -73,6 +79,7 @@ let try_malloc t ?(site = "<unknown>") size =
     ignore
       (Object_registry.register t.registry ~canonical ~shadow_base ~pages
          ~user_addr:user ~size ~alloc_site:site);
+    Stats.count_alloc_op t.machine.Machine.stats;
     trace_malloc t site size user;
     Ok user
 
@@ -115,6 +122,7 @@ let find_free_target t user =
 let complete_free t (obj : Object_registry.obj) ~site user =
   Object_registry.mark_freed t.registry obj ~free_site:site;
   t.allocator.dealloc obj.Object_registry.canonical;
+  Stats.count_free_op t.machine.Machine.stats;
   trace_free t site user
 
 let with_violation_trace t thunk =
@@ -137,6 +145,24 @@ let try_free t ?(site = "<unknown>") user =
 
 let free t ?site user =
   Syscalls.ok_or_raise ~name:"Shadow_heap.free" (try_free t ?site user)
+
+(* Epoch-mode free: validate and mark the object freed now (so a
+   double free in the quarantine window still trips the registry
+   check), but defer BOTH the protecting mprotect and the canonical
+   dealloc to the caller's epoch — deferring dealloc too is what makes
+   the quarantine real: physical reuse cannot outrun protection.  The
+   caller must eventually protect the shadow range and then call
+   [release_canonical]. *)
+let free_deferred t ?(site = "<unknown>") user =
+  with_violation_trace t (fun () ->
+      let obj = find_free_target t user in
+      Object_registry.mark_freed t.registry obj ~free_site:site;
+      Stats.count_free_op t.machine.Machine.stats;
+      trace_free t site user;
+      obj)
+
+let release_canonical t (obj : Object_registry.obj) =
+  t.allocator.dealloc obj.Object_registry.canonical
 
 let free_unprotected t ?(site = "<unknown>") user =
   with_violation_trace t (fun () ->

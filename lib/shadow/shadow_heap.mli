@@ -26,6 +26,8 @@ val create :
   ?shadow_placer:(int -> Vmm.Addr.t option) ->
   ?shadow_unplace:(base:Vmm.Addr.t -> pages:int -> unit) ->
   ?on_shadow_range:(base:Vmm.Addr.t -> pages:int -> unit) ->
+  ?shadow_alias:
+    (src:Vmm.Addr.t -> pages:int -> (Vmm.Addr.t, Vmm.Fault_plan.error) result) ->
   registry:Object_registry.t ->
   allocator:Heap.Allocator_intf.t ->
   Vmm.Machine.t ->
@@ -35,7 +37,11 @@ val create :
     [shadow_unplace] returns such a range to its donor when the aliasing
     syscall fails after placement (so an injected fault does not leak
     recycled VA); [on_shadow_range] is told about every shadow range
-    created, so a pool layer can track it for destroy-time recycling. *)
+    created, so a pool layer can track it for destroy-time recycling.
+    [shadow_alias], when given, replaces the whole aliasing strategy
+    (placer included): it must return the base of a fresh read-write
+    alias of [src .. src+pages) — this is how {!Slab} pre-aliasing
+    plugs in. *)
 
 val malloc : t -> ?site:string -> int -> Vmm.Addr.t
 (** Allocate [size] usable bytes; returns the shadow address.  [site] is
@@ -63,6 +69,21 @@ val try_free :
     boundary: on [Error] the object is {e still live} (nothing freed),
     so the caller can retry or fall back to {!free_unprotected}.
     Violations still raise. *)
+
+val free_deferred : t -> ?site:string -> Vmm.Addr.t -> Object_registry.obj
+(** Epoch-mode free: full free-argument validation (double/invalid
+    frees raise {!Report.Violation} exactly as {!free}) and the object
+    is marked freed, but {e neither} the protecting [mprotect] {e nor}
+    the canonical dealloc happens — both are the caller's epoch's
+    responsibility ({!Epoch.enqueue} with a release callback built on
+    {!release_canonical}).  Until retirement the object's pages remain
+    accessible; the epoch's quarantine table is the detection backstop
+    for that window. *)
+
+val release_canonical : t -> Object_registry.obj -> unit
+(** Second half of {!free_deferred}: return the canonical block to the
+    underlying allocator.  Call exactly once, only after the object's
+    shadow range is protected (or the pool is being torn down). *)
 
 val free_unprotected : t -> ?site:string -> Vmm.Addr.t -> Object_registry.obj
 (** Degraded-mode free: releases the object (registry + allocator)

@@ -10,6 +10,7 @@ type t = {
   pool : Apa.Pool.t;
   heap : Shadow_heap.t;
   recycler : Apa.Page_recycler.t option;
+  slab : Slab.t option;
   shadow_ranges : (Addr.t, int * range_state) Hashtbl.t; (* base -> pages, state *)
   elided_live : (Addr.t, int) Hashtbl.t; (* addr -> size, statically-safe blocks *)
   mutable elided_allocs : int;
@@ -18,7 +19,7 @@ type t = {
 }
 
 let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
-    ~registry machine =
+    ?slab ~registry machine =
   let reclaim =
     match recycler with
     | Some r -> Apa.Pool.Recycle r
@@ -39,9 +40,12 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
   let on_shadow_range ~base ~pages =
     Hashtbl.replace shadow_ranges base (pages, Rs_live)
   in
+  let shadow_alias =
+    Option.map (fun s ~src ~pages -> Slab.take s ~src ~pages) slab
+  in
   let heap =
     Shadow_heap.create ~shadow_placer ~shadow_unplace ~on_shadow_range
-      ~registry
+      ?shadow_alias ~registry
       ~allocator:(Apa.Pool.as_allocator pool)
       machine
   in
@@ -51,6 +55,7 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
     pool;
     heap;
     recycler;
+    slab;
     shadow_ranges;
     elided_live = Hashtbl.create 64;
     elided_allocs = 0;
@@ -97,15 +102,32 @@ let free_unprotected t ?site user =
   mark_range_freed t obj;
   obj
 
+(* Epoch-mode free: validate + mark now, defer protection and canonical
+   reuse.  The range is NOT marked Rs_freed yet — [reclaim_freed_shadow]
+   must not recycle a quarantined range out from under its epoch. *)
+let free_deferred t ?site user =
+  check_usable t "free";
+  Shadow_heap.free_deferred t.heap ?site user
+
+(* The release half an epoch runs at retirement, once the range is
+   protected: canonical block back to the pool, range into the Rs_freed
+   set the reuse policy may reclaim. *)
+let retire_object t (obj : Object_registry.obj) =
+  Shadow_heap.release_canonical t.heap obj;
+  mark_range_freed t obj
+
 (* Raw pool access for fully degraded (pass-through) operation: the
    canonical block with no shadow alias at all. *)
 let alloc_raw t size =
   check_usable t "alloc";
-  Apa.Pool.alloc t.pool size
+  let addr = Apa.Pool.alloc t.pool size in
+  Stats.count_alloc_op t.machine.Machine.stats;
+  addr
 
 let dealloc_raw t addr =
   check_usable t "free";
-  Apa.Pool.dealloc t.pool addr
+  Apa.Pool.dealloc t.pool addr;
+  Stats.count_free_op t.machine.Machine.stats
 
 (* Statically-elided allocation: the analysis proved every use of this
    site's class Safe, so the object lives on its canonical page with no
@@ -118,6 +140,7 @@ let alloc_elided t size =
   let addr = Apa.Pool.alloc t.pool size in
   Hashtbl.replace t.elided_live addr size;
   t.elided_allocs <- t.elided_allocs + 1;
+  Stats.count_alloc_op t.machine.Machine.stats;
   addr
 
 let free_elided t addr =
@@ -127,6 +150,7 @@ let free_elided t addr =
     Hashtbl.remove t.elided_live addr;
     Apa.Pool.dealloc t.pool addr;
     t.elided_frees <- t.elided_frees + 1;
+    Stats.count_free_op t.machine.Machine.stats;
     true
   | None -> false
 
@@ -145,6 +169,9 @@ let release_range t base pages =
 let destroy t =
   check_usable t "destroy";
   t.destroyed <- true;
+  (* Flush before the pool recycles canonical VA: recycled pages get
+     fresh physical backing, which would invalidate cached aliases. *)
+  (match t.slab with Some s -> ignore (Slab.flush s) | None -> ());
   Hashtbl.iter (fun base (pages, _state) -> release_range t base pages)
     t.shadow_ranges;
   Hashtbl.reset t.shadow_ranges;

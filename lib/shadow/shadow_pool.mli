@@ -21,11 +21,15 @@ val create :
   ?elem_size:int ->
   ?reuse_shadow_va:bool ->
   ?recycler:Apa.Page_recycler.t ->
+  ?slab:Slab.t ->
   registry:Object_registry.t ->
   Vmm.Machine.t ->
   t
 (** [poolinit].  Without a [recycler], destroy unmaps everything instead
-    (the paper's "simple solution"). *)
+    (the paper's "simple solution").  With a [slab], shadow aliases come
+    from {!Slab.take} (vectored pre-aliasing, overriding recycled-VA
+    placement) and {!destroy} flushes the cache — the slab must be
+    private to this pool. *)
 
 val alloc : t -> ?site:string -> int -> Vmm.Addr.t
 val free : t -> ?site:string -> Vmm.Addr.t -> unit
@@ -47,6 +51,18 @@ val free_unprotected :
 (** Degraded-mode free that skips page protection (see
     {!Shadow_heap.free_unprotected}); the range is still marked freed so
     {!reclaim_freed_shadow} can recycle it. *)
+
+val free_deferred : t -> ?site:string -> Vmm.Addr.t -> Object_registry.obj
+(** Epoch-mode free (see {!Shadow_heap.free_deferred}): validated and
+    marked freed, protection and canonical reuse deferred.  The shadow
+    range stays out of the {!reclaim_freed_shadow} set until
+    {!retire_object} — a quarantined range must not be recycled from
+    under its epoch. *)
+
+val retire_object : t -> Object_registry.obj -> unit
+(** Finish a {!free_deferred}: canonical block back to the pool and the
+    range into the reclaimable freed set.  The epoch calls this (via its
+    release callback) only after the range is protected. *)
 
 val alloc_raw : t -> int -> Vmm.Addr.t
 (** Pass-through allocation straight from the underlying pool: no shadow

@@ -98,6 +98,30 @@ let prom_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
+(* Derived metrics: ratios computed from the registry's raw counters at
+   export time, so readers of `danguard report` and BENCH_results.json
+   do not divide two counters by hand.  Telemetry knows nothing of the
+   vmm layer, so the inputs are addressed purely by counter name; a
+   registry without them (or with no allocator traffic) simply derives
+   nothing. *)
+let counter_value metrics name =
+  match Metrics.value metrics name with
+  | Some (Metrics.Counter_v v) -> v
+  | Some (Metrics.Gauge_v _ | Metrics.Hist_v _) | None -> 0
+
+let derived_metrics metrics =
+  let c = counter_value metrics in
+  let protection =
+    c "vmm.syscalls_mremap" + c "vmm.syscalls_mprotect" + c "vmm.syscalls_munmap"
+  in
+  let ops = c "vmm.alloc_ops" + c "vmm.free_ops" in
+  if ops = 0 then []
+  else
+    [ ("vmm.syscalls_per_op", float_of_int protection /. float_of_int ops) ]
+
+let derived_to_json metrics =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (derived_metrics metrics))
+
 let to_prometheus metrics =
   let buf = Buffer.create 1024 in
   let typed = Hashtbl.create 16 in
@@ -154,6 +178,12 @@ let to_prometheus metrics =
         Buffer.add_string buf
           (Printf.sprintf "%s_count%s %d\n" base labels (Histogram.count h)))
     (Metrics.names metrics);
+  List.iter
+    (fun (name, v) ->
+      let base = prom_sanitize name in
+      type_line base "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" base (prom_float v)))
+    (derived_metrics metrics);
   Buffer.contents buf
 
 let to_text events =

@@ -29,6 +29,16 @@ val chrome_trace_grouped :
 val to_chrome_string_grouped :
   ?name_of_pid:(int -> string) -> (int * int * Event.t list) list -> string
 
+val derived_metrics : Metrics.t -> (string * float) list
+(** Ratios derived from the registry's raw counters, addressed by
+    name: currently ["vmm.syscalls_per_op"] — protection syscalls
+    (mremap + mprotect + munmap) per heap operation (alloc + free) —
+    present only when the registry saw allocator traffic
+    ([vmm.alloc_ops + vmm.free_ops > 0]). *)
+
+val derived_to_json : Metrics.t -> Json.t
+(** {!derived_metrics} as a flat [{"name": value}] object. *)
+
 val to_prometheus : Metrics.t -> string
 (** Prometheus text exposition of a registry: counters (name suffixed
     [_total] when missing), gauges, and histograms as summaries
@@ -36,7 +46,7 @@ val to_prometheus : Metrics.t -> string
     carry a literal label block — [crash_total{signature="..."}] — the
     block passes through verbatim and only the base name is sanitised
     to the metric-name grammar; one [# TYPE] line is emitted per base
-    family. *)
+    family.  {!derived_metrics} are appended as gauges. *)
 
 val to_text : Event.t list -> string
 (** One pretty line per event. *)

@@ -79,6 +79,30 @@ let mremap_alias (m : Machine.t) ~src ~pages =
   alias_range m ~src ~dst ~pages;
   dst
 
+(* Vectored aliasing: one kernel crossing creates [copies] back-to-back
+   aliases of the same canonical run, each a full alias of
+   [src .. src+pages).  The copies are contiguous in fresh VA, so a
+   later coalesced mprotect over consecutively-freed slab objects
+   merges into a single range.  This is the "alias a slab at a time"
+   OS enhancement the paper sketches as future work; validation happens
+   before any mapping is touched so a rejected call leaves the machine
+   unchanged. *)
+let mremap_alias_slab (m : Machine.t) ~src ~pages ~copies =
+  check_aligned "mremap_alias_slab" src;
+  check_pages "mremap_alias_slab" pages;
+  if copies <= 0 then invalid_arg "Kernel.mremap_alias_slab: copies <= 0";
+  let src_page = Addr.page_index src in
+  for i = 0 to pages - 1 do
+    ignore (frame_of_mapped m (src_page + i))
+  done;
+  Stats.count_syscall m.stats Stats.Sys_mremap;
+  trace_syscall m "mremap_slab" (pages * copies);
+  let base = Machine.fresh_pages m (pages * copies) in
+  for c = 0 to copies - 1 do
+    alias_range m ~src ~dst:(base + (c * pages * Addr.page_size)) ~pages
+  done;
+  base
+
 let mremap_alias_at (m : Machine.t) ~src ~dst ~pages =
   check_aligned "mremap_alias_at" src;
   check_aligned "mremap_alias_at" dst;

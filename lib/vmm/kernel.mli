@@ -25,6 +25,16 @@ val mremap_alias : Machine.t -> src:Addr.t -> pages:int -> Addr.t
     [mremap(old, 0, len)] which leaves the old mapping intact.  [src]
     must be page-aligned and mapped. *)
 
+val mremap_alias_slab :
+  Machine.t -> src:Addr.t -> pages:int -> copies:int -> Addr.t
+(** Vectored {!mremap_alias}: one syscall creates [copies] contiguous
+    aliases of the canonical run [src .. src+pages), laid out
+    back-to-back at a fresh base (copy [i] starts at
+    [base + i*pages*page_size]).  Models the slab-granularity aliasing
+    call the paper proposes as an OS enhancement; amortizes alias cost
+    to ~1 syscall per slab.  Validates [src] fully before mapping, so a
+    rejection leaves the machine unchanged. *)
+
 val mremap_alias_at : Machine.t -> src:Addr.t -> dst:Addr.t -> pages:int -> unit
 (** Like {!mremap_alias} but the new mapping is placed at [dst]
     (page-aligned; any existing mappings there are replaced) — used when

@@ -32,6 +32,8 @@ type t = {
   syscall_retries : Telemetry.Metrics.counter;
   pages_mapped : Telemetry.Metrics.counter;
   frames_allocated : Telemetry.Metrics.counter;
+  alloc_ops : Telemetry.Metrics.counter;
+  free_ops : Telemetry.Metrics.counter;
 }
 
 type snapshot = {
@@ -55,6 +57,8 @@ type snapshot = {
   syscall_retries : int;
   pages_mapped : int;
   frames_allocated : int;
+  alloc_ops : int;
+  free_ops : int;
 }
 
 let create ?registry () : t =
@@ -86,6 +90,8 @@ let create ?registry () : t =
     syscall_retries = c "vmm.syscall_retries";
     pages_mapped = c "vmm.pages_mapped";
     frames_allocated = c "vmm.frames_allocated";
+    alloc_ops = c "vmm.alloc_ops";
+    free_ops = c "vmm.free_ops";
   }
 
 let registry (t : t) = t.registry
@@ -119,6 +125,9 @@ let count_page_mapped (t : t) = Telemetry.Metrics.incr t.pages_mapped
 let count_frame_allocated (t : t) =
   Telemetry.Metrics.incr t.frames_allocated
 
+let count_alloc_op (t : t) = Telemetry.Metrics.incr t.alloc_ops
+let count_free_op (t : t) = Telemetry.Metrics.incr t.free_ops
+
 let snapshot (t : t) : snapshot =
   let v = Telemetry.Metrics.counter_value in
   {
@@ -142,6 +151,8 @@ let snapshot (t : t) : snapshot =
     syscall_retries = v t.syscall_retries;
     pages_mapped = v t.pages_mapped;
     frames_allocated = v t.frames_allocated;
+    alloc_ops = v t.alloc_ops;
+    free_ops = v t.free_ops;
   }
 
 let zero : snapshot =
@@ -166,6 +177,8 @@ let zero : snapshot =
     syscall_retries = 0;
     pages_mapped = 0;
     frames_allocated = 0;
+    alloc_ops = 0;
+    free_ops = 0;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -190,6 +203,8 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     syscall_retries = a.syscall_retries - b.syscall_retries;
     pages_mapped = a.pages_mapped - b.pages_mapped;
     frames_allocated = a.frames_allocated - b.frames_allocated;
+    alloc_ops = a.alloc_ops - b.alloc_ops;
+    free_ops = a.free_ops - b.free_ops;
   }
 
 (* One name/value pair per snapshot field, under the "vmm." namespace —
@@ -216,6 +231,8 @@ let field_values (s : snapshot) =
     ("vmm.syscall_retries", s.syscall_retries);
     ("vmm.pages_mapped", s.pages_mapped);
     ("vmm.frames_allocated", s.frames_allocated);
+    ("vmm.alloc_ops", s.alloc_ops);
+    ("vmm.free_ops", s.free_ops);
   ]
 
 let accumulate registry (s : snapshot) =
@@ -250,11 +267,26 @@ let sum (a : snapshot) (b : snapshot) : snapshot =
     syscall_retries = a.syscall_retries + b.syscall_retries;
     pages_mapped = a.pages_mapped + b.pages_mapped;
     frames_allocated = a.frames_allocated + b.frames_allocated;
+    alloc_ops = a.alloc_ops + b.alloc_ops;
+    free_ops = a.free_ops + b.free_ops;
   }
 
 let total_syscalls s =
   s.syscalls_mmap + s.syscalls_mremap + s.syscalls_mprotect + s.syscalls_munmap
   + s.syscalls_dummy
+
+let protection_syscalls s =
+  s.syscalls_mremap + s.syscalls_mprotect + s.syscalls_munmap
+
+let heap_ops s = s.alloc_ops + s.free_ops
+
+(* The batching win as one number: protection syscalls divided by heap
+   operations.  [None] when the snapshot saw no allocator traffic, so
+   exporters can distinguish "no data" from a true zero. *)
+let syscalls_per_op s =
+  let ops = heap_ops s in
+  if ops = 0 then None
+  else Some (float_of_int (protection_syscalls s) /. float_of_int ops)
 
 let pp ppf s =
   Format.fprintf ppf
@@ -262,10 +294,10 @@ let pp ppf s =
      tlb shootdowns: %d (%d pages)@ cache hits/misses: %d/%d@ \
      syscalls (mmap/mremap/mprotect/munmap/dummy): %d/%d/%d/%d/%d@ faults: \
      %d@ syscalls failed/retried: %d/%d@ pages mapped: %d@ frames \
-     allocated: %d@]"
+     allocated: %d@ heap ops (alloc/free): %d/%d@]"
     s.instructions s.loads s.stores s.tlb_hits s.tlb_misses s.tlb_shootdowns
     s.tlb_shootdown_pages s.cache_hits
     s.cache_misses s.syscalls_mmap
     s.syscalls_mremap s.syscalls_mprotect s.syscalls_munmap s.syscalls_dummy
     s.faults s.syscalls_failed s.syscall_retries s.pages_mapped
-    s.frames_allocated
+    s.frames_allocated s.alloc_ops s.free_ops

@@ -48,6 +48,8 @@ type snapshot = {
       (** transient-failure retries performed by [Runtime.Retry] *)
   pages_mapped : int;      (** page-table entries created, cumulative *)
   frames_allocated : int;  (** physical frames ever allocated, cumulative *)
+  alloc_ops : int;  (** heap allocations completed (malloc-level ops) *)
+  free_ops : int;   (** heap frees completed (free-level ops) *)
 }
 
 val create : ?registry:Telemetry.Metrics.t -> unit -> t
@@ -82,6 +84,14 @@ val count_syscall_retry : t -> unit
 val count_page_mapped : t -> unit
 val count_frame_allocated : t -> unit
 
+val count_alloc_op : t -> unit
+(** One completed heap allocation, whatever its protection path (full
+    shadow aliasing, slab hit, or elided). *)
+
+val count_free_op : t -> unit
+(** One completed heap free, including frees merely enqueued into an
+    epoch quarantine. *)
+
 val snapshot : t -> snapshot
 val zero : snapshot
 
@@ -93,6 +103,19 @@ val sum : snapshot -> snapshot -> snapshot
     forked connection). *)
 
 val total_syscalls : snapshot -> int
+
+val protection_syscalls : snapshot -> int
+(** Syscalls attributable to dangling-pointer protection: mremap
+    (shadow aliasing) + mprotect (protection flips) + munmap. *)
+
+val heap_ops : snapshot -> int
+(** [alloc_ops + free_ops]. *)
+
+val syscalls_per_op : snapshot -> float option
+(** [protection_syscalls / heap_ops], or [None] when the snapshot saw
+    no allocator traffic — the derived metric `danguard report` and the
+    bench sections surface. *)
+
 val pp : Format.formatter -> snapshot -> unit
 
 val field_values : snapshot -> (string * int) list

@@ -65,6 +65,12 @@ let mremap_alias m ~src ~pages =
   | Some e -> Error e
   | None -> guard m "mremap" (fun () -> Kernel.mremap_alias m ~src ~pages)
 
+let mremap_alias_slab m ~src ~pages ~copies =
+  match inject m Fault_plan.Mremap "mremap_slab" with
+  | Some e -> Error e
+  | None ->
+    guard m "mremap_slab" (fun () -> Kernel.mremap_alias_slab m ~src ~pages ~copies)
+
 let mremap_alias_at m ~src ~dst ~pages =
   match inject m Fault_plan.Mremap "mremap" with
   | Some e -> Error e
@@ -84,3 +90,26 @@ let munmap m ~addr ~pages =
 let ok_or_raise ~name = function
   | Ok v -> v
   | Error error -> raise (Fault_plan.Syscall_failure { name; error })
+
+(* Pure range merging for batched retirement: sort page-aligned
+   [(base, pages)] ranges and fuse adjacent or overlapping ones, so an
+   epoch's worth of per-object protection flips becomes the minimum
+   number of ranged calls.  No machine state is touched here — this is
+   the planning half; the caller issues one syscall per merged run. *)
+let coalesce_ranges ranges =
+  let ranges =
+    List.filter (fun ((_ : Addr.t), pages) -> pages > 0) ranges
+  in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare (a : Addr.t) b) ranges
+  in
+  let fuse acc (base, pages) =
+    match acc with
+    | (cur_base, cur_pages) :: rest
+      when base <= cur_base + (cur_pages * Addr.page_size) ->
+      let cur_end = cur_base + (cur_pages * Addr.page_size) in
+      let new_end = max cur_end (base + (pages * Addr.page_size)) in
+      (cur_base, (new_end - cur_base) / Addr.page_size) :: rest
+    | _ -> (base, pages) :: acc
+  in
+  List.rev (List.fold_left fuse [] sorted)

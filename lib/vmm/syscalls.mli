@@ -18,6 +18,10 @@ val mmap : Machine.t -> pages:int -> Addr.t outcome
 val mmap_fixed : Machine.t -> addr:Addr.t -> pages:int -> unit outcome
 val mremap_alias : Machine.t -> src:Addr.t -> pages:int -> Addr.t outcome
 
+val mremap_alias_slab :
+  Machine.t -> src:Addr.t -> pages:int -> copies:int -> Addr.t outcome
+(** Injectable {!Kernel.mremap_alias_slab} (fault class [Mremap]). *)
+
 val mremap_alias_at :
   Machine.t -> src:Addr.t -> dst:Addr.t -> pages:int -> unit outcome
 
@@ -27,3 +31,9 @@ val munmap : Machine.t -> addr:Addr.t -> pages:int -> unit outcome
 val ok_or_raise : name:string -> 'a outcome -> 'a
 (** Unwrap, raising {!Fault_plan.Syscall_failure} on error — for
     callers with no graceful-degradation path. *)
+
+val coalesce_ranges : (Addr.t * int) list -> (Addr.t * int) list
+(** Merge page-aligned [(base, pages)] ranges: sort by base and fuse
+    adjacent/overlapping runs.  Pure planning step for epoch-batched
+    retirement — empty and non-positive ranges are dropped, the result
+    is sorted and minimal.  No syscall is issued. *)

@@ -533,6 +533,16 @@ let oracle_one ~ctx ~expect_elision source bug =
       (Runtime.Schemes.shadow_pool (Vmm.Machine.create ()))
   in
   check_violations_covered ~ctx:(ctx ^ "/full") r viol_full;
+  (* epoch-batched scheme: deferred protection must not change what is
+     detected or where — the violation list (site and order) must be
+     exactly the eager scheme's, whether the use trapped in the MMU
+     after retirement or hit the in-window software backstop *)
+  let out_epoch, viol_epoch =
+    run_with_hook transformed
+      (Runtime.Schemes.shadow_pool_epoch (Vmm.Machine.create ()))
+  in
+  check_bool (ctx ^ ": epoch detections identical to eager scheme") true
+    (viol_epoch = viol_full);
   (* static-elision scheme: same contract, plus detection must survive *)
   let static_scheme =
     Runtime.Schemes.shadow_pool_static
@@ -558,7 +568,12 @@ let oracle_one ~ctx ~expect_elision source bug =
       | Some a, Some b ->
         check_bool (ctx ^ ": native/static outputs equal") true
           (a.Minic.Interp.prints = b.Minic.Interp.prints)
-      | _ -> Alcotest.failf "%s: correct program failed to run" ctx)
+      | _ -> Alcotest.failf "%s: correct program failed to run" ctx);
+     (match (out_native, out_epoch) with
+      | Some a, Some b ->
+        check_bool (ctx ^ ": native/epoch outputs equal") true
+          (a.Minic.Interp.prints = b.Minic.Interp.prints)
+      | _ -> Alcotest.failf "%s: correct program failed under epoch" ctx)
    | Use_after_release | Must_uaf_bug | Double_free_bug ->
      if viol_full = [] then
        Alcotest.failf "%s: seeded bug not detected under full scheme" ctx;
