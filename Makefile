@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke lint-smoke lint-src check clean
+.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke soak-smoke lint-smoke lint-src check clean
 
 all: build
 
@@ -38,6 +38,15 @@ farm-smoke:
 report-smoke:
 	dune exec bin/danguard.exe -- report ghttpd --shards 2 -c 16 --probe-every 4 --sites 2
 
+# Multi-day endurance smoke: a 3-simulated-day ghttpd soak with the
+# conservative GC armed; nonzero exit if any planted probe fails to
+# trap, any witnessed range is reclaimed, the budget exhausts, or the
+# VA growth curve fails to flatten.  The --no-reclaim run checks the
+# oracle on the baseline (exhaustion there is expected, not fatal).
+soak-smoke:
+	dune exec bin/danguard.exe -- soak --days 3 -c 120
+	dune exec bin/danguard.exe -- soak --days 3 -c 120 --no-reclaim
+
 # Static-analysis CLI smoke: exit codes (0 clean/may, 3 must-UAF) and
 # the machine-readable output pinned by the golden files.
 lint-smoke:
@@ -72,6 +81,7 @@ check:
 	$(MAKE) faults-smoke
 	$(MAKE) farm-smoke
 	$(MAKE) report-smoke
+	$(MAKE) soak-smoke
 
 clean:
 	dune clean

@@ -45,6 +45,12 @@ let run ~smoke () =
             ("syscalls", J.Int r.F.totals.F.syscalls);
             ("latency_p50", J.Float r.F.latency.Harness.Latency.q50);
             ("latency_p99", J.Float r.F.latency.Harness.Latency.q99);
+            ( "shadow_va_pages_used",
+              J.Int
+                (int_of_float
+                   (Telemetry.Metrics.gauge_value
+                      (Telemetry.Metrics.gauge r.F.registry
+                         "shadow.va_pages_used"))) );
           ])
       results
   in

@@ -434,7 +434,7 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~static_elision ~epoch_batching ~resilience ~farm ~fleet =
+    ~static_elision ~epoch_batching ~resilience ~farm ~fleet ~soak =
   let doc =
     J.Obj
       [
@@ -455,6 +455,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
         ("resilience", resilience);
         ("farm", farm);
         ("fleet_report", fleet);
+        ("soak", soak);
       ]
   in
   Out_channel.with_open_text out (fun oc ->
@@ -504,6 +505,7 @@ let () =
   let epoch_batching = Epoch_batching.run ~smoke:!smoke () in
   let farm = Farm.run ~smoke:!smoke () in
   let fleet = Fleet_report.run ~smoke:!smoke () in
+  let soak = Soak.run ~smoke:!smoke () in
   let bechamel =
     match Sys.getenv_opt "SKIP_BECHAMEL" with
     | Some _ ->
@@ -520,5 +522,5 @@ let () =
       ]
     ~costs ~bechamel ~fastpath ~static_elision ~epoch_batching
     ~resilience:(Harness.Resilience.to_json resilience)
-    ~farm ~fleet;
+    ~farm ~fleet ~soak;
   print_endline "\nAll sections complete."

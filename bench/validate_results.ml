@@ -348,8 +348,94 @@ let () =
       | [] -> fail "seeded site %s missing from the fleet report" alloc
       | _ -> fail "seeded site %s appears under several signatures" alloc)
     expected_sites;
+  (* Multi-day soak: the endurance contract.  The GC'd run must keep
+     the detection guarantee perfectly (no missed probe, no reclaim of
+     a rooted range) while staying flat against the unreclaimed run,
+     which in turn must demonstrate the §3.4 problem — exhaustion, or
+     at least a finite projection.  The ladder run must show the
+     ordered response: gc strictly before tighten strictly before
+     degrade, with the governor transition attributed to va-pressure. *)
+  let soak = member "" doc "soak" in
+  let soak_run k = member "soak" soak k in
+  let soak_int path run k =
+    match member path run k with
+    | J.Int n -> n
+    | _ -> fail "%s.%s is not an int" path k
+  in
+  let without_gc = soak_run "without_gc" in
+  let with_gc = soak_run "with_gc" in
+  let ladder = soak_run "ladder" in
+  List.iter
+    (fun (name, run) ->
+      if soak_int ("soak." ^ name) run "total_probes" <= 0 then
+        fail "soak %s ran no dangling probes" name;
+      if soak_int ("soak." ^ name) run "missed_probes" <> 0 then
+        fail "soak %s missed %d dangling probes" name
+          (soak_int ("soak." ^ name) run "missed_probes");
+      if soak_int ("soak." ^ name) run "reclaims_with_witness" <> 0 then
+        fail "soak %s reclaimed %d witnessed (rooted) ranges" name
+          (soak_int ("soak." ^ name) run "reclaims_with_witness"))
+    [ ("without_gc", without_gc); ("with_gc", with_gc); ("ladder", ladder) ];
+  (match member "soak.without_gc" without_gc "exhausted" with
+   | J.Bool true -> ()
+   | J.Bool false ->
+     (match member "soak.without_gc" without_gc "projected_hours" with
+      | J.Float h when h > 0.0 -> ()
+      | J.Int h when h > 0 -> ()
+      | _ ->
+        fail
+          "soak without reclamation neither exhausted its budget nor \
+           projected a finite exhaustion time")
+   | _ -> fail "soak.without_gc.exhausted is not a bool");
+  if soak_int "soak.with_gc" with_gc "gc_runs" <= 0 then
+    fail "soak with_gc never ran the GC";
+  if soak_int "soak.with_gc" with_gc "reclaimed_pages" <= 0 then
+    fail "soak with_gc reclaimed nothing";
+  (match member "soak.with_gc" with_gc "exhausted" with
+   | J.Bool false -> ()
+   | _ -> fail "soak with_gc exhausted its VA budget despite the GC");
+  let gc_tail = soak_int "soak.with_gc" with_gc "tail_delta_pages" in
+  let raw_tail = soak_int "soak.without_gc" without_gc "tail_delta_pages" in
+  if raw_tail <= 0 then fail "soak without_gc shows no steady-state VA growth";
+  if 4 * gc_tail > raw_tail then
+    fail "soak with_gc is not flat (tail %d pages/day vs %d unreclaimed)"
+      gc_tail raw_tail;
+  let ladder_actions =
+    non_empty_list "soak.ladder.actions" (member "soak.ladder" ladder "actions")
+  in
+  let first_index want =
+    let rec go i = function
+      | [] -> None
+      | a :: rest ->
+        (match member "soak.ladder.actions[]" a "action" with
+         | J.String s when s = want -> Some i
+         | _ -> go (i + 1) rest)
+    in
+    go 0 ladder_actions
+  in
+  (match (first_index "gc", first_index "tighten", first_index "degrade") with
+   | Some g, Some t, Some d when g < t && t < d -> ()
+   | Some _, Some _, Some _ ->
+     fail "soak ladder actions are out of order (want gc < tighten < degrade)"
+   | g, t, d ->
+     fail "soak ladder is missing actions (gc %b, tighten %b, degrade %b)"
+       (g <> None) (t <> None) (d <> None));
+  let ladder_governor =
+    non_empty_list "soak.ladder.governor_transitions"
+      (member "soak.ladder" ladder "governor_transitions")
+  in
+  if
+    not
+      (List.exists
+         (fun tr ->
+           match member "soak.ladder.governor_transitions[]" tr "reason" with
+           | J.String "va-pressure" -> true
+           | _ -> false)
+         ladder_governor)
+  then fail "soak ladder's governor transition is not attributed to va-pressure";
   Printf.printf
     "validate: %s OK (%d fastpath rows, %d elision rows, %d epoch rows, \
-     %d resilience rows, %d farm rows, %d fleet runs)\n"
+     %d resilience rows, %d farm rows, %d fleet runs, %d soak probes)\n"
     file (List.length rows) (List.length se_rows) (List.length epoch_rows)
     (List.length res_rows) (List.length farm_rows) (List.length fleet_rows)
+    (soak_int "soak.with_gc" with_gc "total_probes")

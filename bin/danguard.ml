@@ -779,6 +779,19 @@ let report_cmd =
           if probe_every <= 0 then 0 else (served + probe_every - 1) / probe_every
         in
         let label = Harness.Experiment.config_label config in
+        let gauge name =
+          int_of_float
+            (Telemetry.Metrics.gauge_value
+               (Telemetry.Metrics.gauge r.Farm.registry name))
+        in
+        let endurance_json =
+          J.Obj
+            [
+              ("va_pages_used", J.Int (gauge "shadow.va_pages_used"));
+              ("va_pages_reclaimed", J.Int (gauge "shadow.va_pages_reclaimed"));
+              ("gc_pinned_ranges", J.Int (gauge "shadow.gc_pinned_ranges"));
+            ]
+        in
         if prometheus then
           print_string (Telemetry.Export.to_prometheus r.Farm.registry)
         else if json then
@@ -795,6 +808,7 @@ let report_cmd =
                     ("probe_every", J.Int probe_every);
                     ("probe_sites", J.Int probe_sites);
                     ("detections", J.Int r.Farm.totals.Farm.detections);
+                    ("endurance", endurance_json);
                     ("derived", Telemetry.Export.derived_to_json r.Farm.registry);
                     ("report", Fleet.Crash.to_json r.Farm.crashes);
                   ]))
@@ -807,8 +821,14 @@ let report_cmd =
             r.Farm.seed;
           (match Vmm.Stats.syscalls_per_op r.Farm.totals.Farm.stats with
            | Some v ->
-             Printf.printf "protection syscalls/op: %.4f\n\n" v
+             Printf.printf "protection syscalls/op: %.4f\n" v
            | None -> ());
+          Printf.printf
+            "shadow VA: %d pages used (worst connection), %d reclaimed, %d \
+             pinned\n\n"
+            (gauge "shadow.va_pages_used")
+            (gauge "shadow.va_pages_reclaimed")
+            (gauge "shadow.gc_pinned_ranges");
           print_string (Fleet.Crash.render r.Farm.crashes)
         end;
         (* Self-checks: the recoverable wrapper must keep every child
@@ -839,6 +859,171 @@ let report_cmd =
          $ probe_sites $ policy $ config_arg
          $ seed_arg ~default:0x5eed ~doc:"Connection-shuffle seed."
          $ json_arg $ prometheus))
+
+(* ---- soak ---- *)
+
+let soak_cmd =
+  let days =
+    Arg.(value & opt int 3 & info [ "days" ] ~docv:"D" ~doc:"Simulated days.")
+  in
+  let connections =
+    Arg.(value & opt int 120
+         & info [ "c"; "connections" ] ~docv:"N" ~doc:"Connections per day.")
+  in
+  let server =
+    Arg.(value & opt string "ghttpd"
+         & info [ "server" ] ~docv:"S"
+             ~doc:"Server daemon model (see $(b,danguard list)).")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget-pages" ] ~docv:"P"
+             ~doc:"VA budget in pages (default: days x connections).")
+  in
+  let no_reclaim =
+    Arg.(value & flag
+         & info [ "no-reclaim" ]
+             ~doc:"Disarm the GC and reuse policy: demonstrate the §3.4 \
+                   exhaustion problem instead of the fix (the endurance \
+                   gates are skipped).")
+  in
+  let governor =
+    Arg.(value & flag
+         & info [ "governor" ]
+             ~doc:"Arm the degradation ladder as the last-resort response \
+                   to VA pressure.")
+  in
+  let run days connections server budget no_reclaim governor seed json =
+    let config =
+      {
+        Harness.Soak.default_config with
+        Harness.Soak.days;
+        connections_per_day = connections;
+        server;
+        seed;
+        budget_pages =
+          Option.value budget ~default:(days * connections);
+        endurance = not no_reclaim;
+        governor;
+      }
+    in
+    match Harness.Soak.run ~config () with
+    | exception Invalid_argument m -> `Error (false, m)
+    | r ->
+      if json then
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("server", J.String server);
+                  ("days", J.Int days);
+                  ("connections_per_day", J.Int connections);
+                  ("budget_pages", J.Int config.Harness.Soak.budget_pages);
+                  ("endurance", J.Bool (not no_reclaim));
+                  ("total_probes", J.Int r.Harness.Soak.total_probes);
+                  ("missed_probes", J.Int r.Harness.Soak.missed_probes);
+                  ( "reclaims_with_witness",
+                    J.Int r.Harness.Soak.reclaims_with_witness );
+                  ("gc_runs", J.Int r.Harness.Soak.gc_runs);
+                  ("reclaimed_pages", J.Int r.Harness.Soak.reclaimed_pages);
+                  ("pinned_final", J.Int r.Harness.Soak.pinned_final);
+                  ("exhausted", J.Bool r.Harness.Soak.exhausted);
+                  ( "projected_hours",
+                    match r.Harness.Soak.projected_hours with
+                    | Some h -> J.Float h
+                    | None -> J.Null );
+                  ( "first_day_delta_pages",
+                    J.Int r.Harness.Soak.first_day_delta_pages );
+                  ("tail_delta_pages", J.Int r.Harness.Soak.tail_delta_pages);
+                  ( "rows",
+                    J.List
+                      (List.map
+                         (fun (row : Harness.Soak.day_row) ->
+                           J.Obj
+                             [
+                               ("day", J.Int row.Harness.Soak.day);
+                               ( "va_pages_used",
+                                 J.Int row.Harness.Soak.va_pages_used );
+                               ("gc_runs", J.Int row.Harness.Soak.gc_runs);
+                               ( "probes_detected",
+                                 J.Int row.Harness.Soak.probes_detected );
+                               ("mode", J.String row.Harness.Soak.mode);
+                             ])
+                         r.Harness.Soak.rows) );
+                ]))
+      else begin
+        Printf.printf
+          "soak: %s, %d day(s) x %d connections, budget %d pages%s\n"
+          server days connections config.Harness.Soak.budget_pages
+          (if no_reclaim then " (reclamation OFF)" else "");
+        List.iter
+          (fun (row : Harness.Soak.day_row) ->
+            Printf.printf
+              "  day %2d: va %5d pages (+%d), %d gc runs, %d/%d probes \
+               caught, pinned %d, mode %s\n"
+              row.Harness.Soak.day row.Harness.Soak.va_pages_used
+              row.Harness.Soak.delta_pages row.Harness.Soak.gc_runs
+              row.Harness.Soak.probes_detected row.Harness.Soak.probes
+              row.Harness.Soak.pinned_ranges row.Harness.Soak.mode)
+          r.Harness.Soak.rows;
+        Printf.printf
+          "  probes %d (missed %d), reclaims-with-witness %d, reclaimed %d \
+           pages over %d gc runs\n"
+          r.Harness.Soak.total_probes r.Harness.Soak.missed_probes
+          r.Harness.Soak.reclaims_with_witness r.Harness.Soak.reclaimed_pages
+          r.Harness.Soak.gc_runs;
+        match (r.Harness.Soak.exhausted, r.Harness.Soak.projected_hours) with
+        | true, _ -> print_endline "  VA budget EXHAUSTED"
+        | false, Some h ->
+          Printf.printf "  projected exhaustion in %.0f simulated hours\n" h
+        | false, None -> print_endline "  flat: never exhausts at this rate"
+      end;
+      (* The endurance gates (CI calls this via make soak-smoke): the
+         detection guarantee must be perfect, reclamation must never
+         touch a rooted range, and with the GC armed the steady state
+         must be much flatter than the warm-up day. *)
+      if r.Harness.Soak.missed_probes > 0 then
+        `Error
+          ( false,
+            Printf.sprintf "%d dangling probe(s) went undetected"
+              r.Harness.Soak.missed_probes )
+      else if r.Harness.Soak.reclaims_with_witness > 0 then
+        `Error
+          ( false,
+            Printf.sprintf "GC reclaimed %d rooted (witnessed) range(s)"
+              r.Harness.Soak.reclaims_with_witness )
+      else if no_reclaim then `Ok ()
+      else if r.Harness.Soak.exhausted then
+        `Error (false, "VA budget exhausted despite the GC")
+      else if
+        (* the flatness gate needs a tail to compare against the first
+           day; a 1-day run has only the warm-up delta *)
+        r.Harness.Soak.cfg.Harness.Soak.days > 1
+        && r.Harness.Soak.tail_delta_pages > 0
+        && 2 * r.Harness.Soak.tail_delta_pages
+           > r.Harness.Soak.first_day_delta_pages
+      then
+        `Error
+          ( false,
+            Printf.sprintf
+              "VA not flat: final day grew %d pages (first day %d)"
+              r.Harness.Soak.tail_delta_pages
+              r.Harness.Soak.first_day_delta_pages )
+      else `Ok ()
+  in
+  cmd "soak"
+    ~doc:"Multi-day uptime soak over a server model (§3.4 endurance): \
+          heavy-tailed session churn against a VA budget, with dangling \
+          probes planted in simulated roots.  With reclamation armed \
+          (default) the conservative GC must keep VA flat while every \
+          probe still traps; exits nonzero if a probe is missed, a rooted \
+          range is reclaimed, or VA keeps growing."
+    Term.(
+      ret
+        (const run $ days $ connections $ server $ budget $ no_reclaim
+         $ governor
+         $ seed_arg ~default:42 ~doc:"Churn PRNG seed."
+         $ json_arg))
 
 (* ---- help ---- *)
 
@@ -882,7 +1067,7 @@ let main_cmd =
     [
       table_cmd; addr_space_cmd; detect_cmd; faults_cmd; exhaustion_cmd;
       run_cmd; list_cmd; compile_cmd; lint_cmd; trace_cmd; demo_cmd; farm_cmd;
-      report_cmd; help_cmd;
+      report_cmd; soak_cmd; help_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

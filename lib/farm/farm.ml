@@ -103,6 +103,14 @@ let run_shard ~scheduler ~shard ~make_scheme ~handler ~recover ~trace_capacity =
   let connections = Metrics.counter registry "farm.connections" in
   let detections = Metrics.counter registry "farm.detections" in
   let max_va = Metrics.gauge registry "farm.max_va_bytes" in
+  (* The endurance gauges, in pages: per-connection machines are
+     short-lived here, so the farm view is the worst connection's VA
+     footprint (merge keeps the max across shards).  Registering the
+     reclaim/pin gauges up front keeps the exporter's gauge set stable
+     whether or not a GC ever runs in this process. *)
+  let shadow_va = Metrics.gauge registry "shadow.va_pages_used" in
+  let (_ : Metrics.gauge) = Metrics.gauge registry "shadow.va_pages_reclaimed" in
+  let (_ : Metrics.gauge) = Metrics.gauge registry "shadow.gc_pinned_ranges" in
   let latency =
     Metrics.histogram
       ~buckets_per_octave:Harness.Latency.buckets_per_octave registry
@@ -175,6 +183,11 @@ let run_shard ~scheduler ~shard ~make_scheme ~handler ~recover ~trace_capacity =
       Telemetry.Histogram.observe latency r.Runtime.Process.cycles;
       let va = float_of_int r.Runtime.Process.va_bytes in
       if va > Metrics.gauge_value max_va then Metrics.set_gauge max_va va;
+      let va_pages =
+        float_of_int (r.Runtime.Process.va_bytes / Vmm.Addr.page_size)
+      in
+      if va_pages > Metrics.gauge_value shadow_va then
+        Metrics.set_gauge shadow_va va_pages;
       Vmm.Stats.accumulate registry r.Runtime.Process.stats;
       loop ()
   in

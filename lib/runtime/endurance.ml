@@ -1,0 +1,104 @@
+type action =
+  | Ran_gc
+  | Tightened
+  | Degraded
+
+let action_label = function
+  | Ran_gc -> "gc"
+  | Tightened -> "tighten"
+  | Degraded -> "degrade"
+
+type entry = {
+  action : action;
+  at_level : Shadow.Va_budget.level;
+  at_pages_used : int;
+}
+
+type t = {
+  budget : Shadow.Va_budget.t;
+  gc : Shadow.Gc.t;
+  policy : Shadow.Reuse_policy.t option;
+  governor : Governor.t option;
+  tighten_divisor : int;
+  min_trigger_pages : int;
+  mutable prev_level : Shadow.Va_budget.level;
+  mutable actions_rev : entry list;
+  mutable last_report : Shadow.Gc.report option;
+}
+
+let create ?policy ?governor ?(tighten_divisor = 4) ?(min_trigger_pages = 1)
+    ~budget gc =
+  if tighten_divisor < 2 then
+    invalid_arg "Endurance.create: tighten_divisor < 2";
+  if min_trigger_pages < 1 then
+    invalid_arg "Endurance.create: min_trigger_pages < 1";
+  {
+    budget;
+    gc;
+    policy;
+    governor;
+    tighten_divisor;
+    min_trigger_pages;
+    prev_level = Shadow.Va_budget.L_ok;
+    actions_rev = [];
+    last_report = None;
+  }
+
+let note t action =
+  t.actions_rev <-
+    {
+      action;
+      at_level = Shadow.Va_budget.level t.budget;
+      at_pages_used = Shadow.Va_budget.used_pages t.budget;
+    }
+    :: t.actions_rev
+
+let run_gc t =
+  let pool = Shadow.Gc.pool t.gc in
+  if Shadow.Shadow_pool.freed_shadow_pages pool > 0 then begin
+    let report = Shadow.Gc.run t.gc in
+    t.last_report <- Some report;
+    note t Ran_gc;
+    Some report
+  end
+  else None
+
+let tighten t =
+  match t.policy with
+  | Some policy ->
+    (match Shadow.Reuse_policy.trigger_pages policy with
+    | Some trigger when trigger > t.min_trigger_pages ->
+      Shadow.Reuse_policy.set_trigger_pages policy
+        (max t.min_trigger_pages (trigger / t.tighten_divisor));
+      note t Tightened
+    | Some _ | None -> ())
+  | None -> ()
+
+let degrade t =
+  match t.governor with
+  | Some g ->
+    Governor.step_down g ~reason:"va-pressure";
+    note t Degraded
+  | None -> ()
+
+(* The ordered §3.4 response.  GC runs at every level at or above L_gc;
+   tightening and degradation fire once per upward crossing of their
+   watermark, so sustained pressure does not hammer the ladder — and the
+   action log provably shows gc-first, tighten-second, degrade-last. *)
+let tick t =
+  let open Shadow.Va_budget in
+  let prev = t.prev_level in
+  let level = poll t.budget in
+  t.prev_level <- level;
+  let crossed l = level_rank level >= level_rank l && level_rank prev < level_rank l in
+  let report =
+    if level_rank level >= level_rank L_gc then run_gc t else None
+  in
+  if crossed L_tighten then tighten t;
+  if crossed L_degrade then degrade t;
+  report
+
+let actions t = List.rev t.actions_rev
+let last_report t = t.last_report
+let budget t = t.budget
+let gc t = t.gc

@@ -80,6 +80,14 @@ val record_failure : t -> reason:string -> unit
 (** A protected operation failed (after retries); may step the ladder
     down. *)
 
+val step_down : t -> reason:string -> unit
+(** External trip input: force one step down the ladder (no-op in
+    [Passthrough]).  Used by the endurance controller when VA pressure
+    reaches its degrade watermark — after GC and threshold tightening
+    have already been tried — with [reason] (e.g. ["va-pressure"])
+    recorded on the transition and in the [Mode_change] event like any
+    internal trip. *)
+
 val record_unprotected_free : t -> unit
 (** A free had to skip page protection (kept for attribution). *)
 

@@ -148,6 +148,12 @@ let pa ?(dummy_syscalls = false) machine =
     introspection = Scheme.No_introspection;
   }
 
+(* The batched reclaim-path unmap every shadow pool gets: coalesced by
+   [Shadow_pool.reclaim_ranges], retried here — the same injection shape
+   as the epoch's [protect]. *)
+let retrying_unmap machine ~addr ~pages =
+  Retry.attempt machine (fun () -> Syscalls.munmap machine ~addr ~pages)
+
 let trace_violation machine (r : Shadow.Report.t) =
   Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
       Shadow.Report.to_event r)
@@ -199,8 +205,8 @@ let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
   let registry = Shadow.Object_registry.create () in
   let recycler = Apa.Page_recycler.create () in
   let make_pool ?elem_size () =
-    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler ~registry
-      machine
+    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler
+      ~unmap:(retrying_unmap machine) ~registry machine
   in
   let global = make_pool () in
   let wrap_pool pool =
@@ -361,8 +367,8 @@ let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
   let registry = Shadow.Object_registry.create () in
   let recycler = Apa.Page_recycler.create () in
   let make_pool ?elem_size () =
-    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler ~registry
-      machine
+    Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va ~recycler
+      ~unmap:(retrying_unmap machine) ~registry machine
   in
   let elided_allocs = ref 0 in
   let elided_frees = ref 0 in
@@ -445,7 +451,7 @@ let shadow_pool_epoch ?(max_frees = 64) ?(max_pages = 256) ?(slab_copies = 16)
       (* Slab placement supplies the shadow VA, so recycled-VA reuse for
          shadow ranges is off; canonical pages still recycle normally. *)
       Shadow.Shadow_pool.create ?elem_size ~reuse_shadow_va:false ~recycler
-        ~slab ~registry machine
+        ~slab ~unmap:(retrying_unmap machine) ~registry machine
     in
     (pool, epoch)
   in

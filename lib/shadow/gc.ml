@@ -1,0 +1,187 @@
+open Vmm
+
+type witness = {
+  w_source : string;
+  w_word_addr : Addr.t option;
+  w_value : Addr.t;
+}
+
+type pinned = {
+  p_base : Addr.t;
+  p_pages : int;
+  p_witness : witness;
+}
+
+type report = {
+  freed_ranges : int;
+  scanned_words : int;
+  pinned : pinned list;
+  reclaimed : (Addr.t * int) list;
+  reclaimed_pages : int;
+  pause_instructions : int;
+}
+
+type t = {
+  pool : Shadow_pool.t;
+  roots : Roots.t;
+  cost_per_word : int;
+  va_pages_used : Telemetry.Metrics.gauge;
+  va_pages_reclaimed : Telemetry.Metrics.gauge;
+  gc_pinned_ranges : Telemetry.Metrics.gauge;
+  pause_hist : Telemetry.Histogram.t;
+  mutable runs : int;
+  mutable total_reclaimed_pages : int;
+  mutable total_scanned_words : int;
+  mutable last_pinned : pinned list;
+}
+
+let metrics_registry machine = Stats.registry machine.Machine.stats
+
+(* Zero-initialise the endurance gauges so exporters (danguard report,
+   farm JSON) always carry them, GC traffic or not. *)
+let register_metrics machine =
+  let reg = metrics_registry machine in
+  let used = Telemetry.Metrics.gauge reg "shadow.va_pages_used" in
+  let pages = Machine.va_bytes_used machine / Addr.page_size in
+  if Telemetry.Metrics.gauge_value used < float_of_int pages then
+    Telemetry.Metrics.set_gauge used (float_of_int pages);
+  ignore (Telemetry.Metrics.gauge reg "shadow.va_pages_reclaimed");
+  ignore (Telemetry.Metrics.gauge reg "shadow.gc_pinned_ranges");
+  ignore (Telemetry.Metrics.histogram reg "shadow.gc_pause_instructions")
+
+let create ?(cost_per_word = 2) ~roots pool =
+  if cost_per_word < 0 then invalid_arg "Gc.create: cost_per_word < 0";
+  let machine = Shadow_pool.machine pool in
+  let reg = metrics_registry machine in
+  register_metrics machine;
+  {
+    pool;
+    roots;
+    cost_per_word;
+    va_pages_used = Telemetry.Metrics.gauge reg "shadow.va_pages_used";
+    va_pages_reclaimed = Telemetry.Metrics.gauge reg "shadow.va_pages_reclaimed";
+    gc_pinned_ranges = Telemetry.Metrics.gauge reg "shadow.gc_pinned_ranges";
+    pause_hist = Telemetry.Metrics.histogram reg "shadow.gc_pause_instructions";
+    runs = 0;
+    total_reclaimed_pages = 0;
+    total_scanned_words = 0;
+    last_pinned = [];
+  }
+
+(* Conservative membership: any word value landing anywhere inside a
+   freed range — interior pointers included — counts as a reference to
+   it.  Binary search over the sorted candidate array. *)
+let find_range ranges v =
+  let n = Array.length ranges in
+  let lo = ref 0 and hi = ref (n - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let base, pages = ranges.(mid) in
+    if v < base then hi := mid - 1
+    else if v >= base + Addr.of_page pages then lo := mid + 1
+    else begin
+      found := Some (base, pages);
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let run t =
+  let machine = Shadow_pool.machine t.pool in
+  let registry = Shadow_pool.registry t.pool in
+  t.runs <- t.runs + 1;
+  let freed = Shadow_pool.freed_ranges t.pool in
+  let candidates = Array.of_list freed in
+  let witnesses : (Addr.t, witness) Hashtbl.t = Hashtbl.create 16 in
+  let scanned = ref 0 in
+  let note ~source ~word_addr v =
+    match find_range candidates v with
+    | Some (base, _) ->
+      if not (Hashtbl.mem witnesses base) then
+        Hashtbl.replace witnesses base
+          { w_source = source; w_word_addr = word_addr; w_value = v }
+    | None -> ()
+  in
+  if freed <> [] then begin
+    (* Roots: registers, stack words, globals. *)
+    scanned := Roots.word_count t.roots;
+    Roots.iter_words t.roots (fun src v ->
+        note ~source:(Roots.source_label src) ~word_addr:None v);
+    (* Heap words of every live object in the pool's registry.  The
+       freed objects' own words need no scan: their pages are protected
+       and their contents unreachable without first tripping a trap. *)
+    Object_registry.iter_live registry (fun (o : Object_registry.obj) ->
+        scanned :=
+          !scanned
+          + Roots.heap_word_count ~addr:o.Object_registry.user_addr
+              ~bytes:o.Object_registry.size;
+        Roots.iter_heap_words machine ~addr:o.Object_registry.user_addr
+          ~bytes:o.Object_registry.size (fun word_addr v ->
+            note
+              ~source:
+                (Printf.sprintf "heap:%s#%d" o.Object_registry.alloc_site
+                   o.Object_registry.id)
+              ~word_addr:(Some word_addr) v))
+  end;
+  (* The scan is real work on the simulated machine: charge it. *)
+  let pause = !scanned * t.cost_per_word in
+  if pause > 0 then Stats.count_instructions machine.Machine.stats pause;
+  let pinned, reclaimable =
+    List.partition_map
+      (fun (base, pages) ->
+        match Hashtbl.find_opt witnesses base with
+        | Some w ->
+          Either.Left { p_base = base; p_pages = pages; p_witness = w }
+        | None -> Either.Right (base, pages))
+      freed
+  in
+  let reclaimed_pages = Shadow_pool.reclaim_ranges t.pool reclaimable in
+  (* A range whose merged unmap failed stays protected; report only what
+     was actually released. *)
+  let reclaimed =
+    List.filter
+      (fun (base, _) ->
+        not (List.mem_assoc base (Shadow_pool.freed_ranges t.pool)))
+      reclaimable
+  in
+  t.total_reclaimed_pages <- t.total_reclaimed_pages + reclaimed_pages;
+  t.total_scanned_words <- t.total_scanned_words + !scanned;
+  t.last_pinned <- pinned;
+  Telemetry.Metrics.set_gauge t.va_pages_used
+    (float_of_int (Machine.va_bytes_used machine / Addr.page_size));
+  Telemetry.Metrics.set_gauge t.va_pages_reclaimed
+    (float_of_int t.total_reclaimed_pages);
+  Telemetry.Metrics.set_gauge t.gc_pinned_ranges
+    (float_of_int (List.length pinned));
+  Telemetry.Histogram.observe t.pause_hist (float_of_int pause);
+  let report =
+    {
+      freed_ranges = List.length freed;
+      scanned_words = !scanned;
+      pinned;
+      reclaimed;
+      reclaimed_pages;
+      pause_instructions = pause;
+    }
+  in
+  Telemetry.Sink.emit_always machine.Machine.trace (fun () ->
+      Telemetry.Event.Gc_run
+        {
+          scanned_words = report.scanned_words;
+          freed_ranges = report.freed_ranges;
+          pinned = List.length report.pinned;
+          reclaimed_pages = report.reclaimed_pages;
+        });
+  report
+
+let runs t = t.runs
+let total_reclaimed_pages t = t.total_reclaimed_pages
+let total_scanned_words t = t.total_scanned_words
+let last_pinned t = t.last_pinned
+let pool t = t.pool
+let roots t = t.roots
+
+let witness_label w =
+  match w.w_word_addr with
+  | Some a -> Printf.sprintf "%s@0x%x=0x%x" w.w_source a w.w_value
+  | None -> Printf.sprintf "%s=0x%x" w.w_source w.w_value

@@ -77,3 +77,12 @@ let forget_range t ~base ~pages =
 
 let live_count t = t.live
 let freed_retained_count t = t.freed_retained
+
+(* [by_page] holds one binding per page an object spans; visiting an
+   object only from its first page yields each live object exactly
+   once. *)
+let iter_live t f =
+  Hashtbl.iter
+    (fun page obj ->
+      if obj.state = Live && page = Addr.page_index obj.shadow_base then f obj)
+    t.by_page

@@ -53,3 +53,7 @@ val forget_range : t -> base:Vmm.Addr.t -> pages:int -> unit
 val live_count : t -> int
 val freed_retained_count : t -> int
 (** Freed objects whose records (and protected pages) are still held. *)
+
+val iter_live : t -> (obj -> unit) -> unit
+(** Visit every live object exactly once — the heap-word enumeration a
+    conservative mark phase scans.  Order is unspecified. *)

@@ -6,13 +6,39 @@ type strategy =
 type t = {
   strategy : strategy;
   pool : Shadow_pool.t;
+  gc : Gc.t option;
+  mutable trigger_override : int option;
   mutable reclaimed : int;
   mutable gc_runs : int;
 }
 
-let create strategy pool = { strategy; pool; reclaimed = 0; gc_runs = 0 }
+let create ?gc strategy pool =
+  (match gc with
+  | Some g when Gc.pool g != pool ->
+    invalid_arg "Reuse_policy.create: gc is bound to a different pool"
+  | Some _ | None -> ());
+  { strategy; pool; gc; trigger_override = None; reclaimed = 0; gc_runs = 0 }
 
 let reclaim t = t.reclaimed <- t.reclaimed + Shadow_pool.reclaim_freed_shadow t.pool
+
+let base_trigger t =
+  match t.strategy with
+  | Interval_reuse { trigger_pages } | Conservative_gc { trigger_pages; _ } ->
+    Some trigger_pages
+  | Manual -> None
+
+let trigger_pages t =
+  match t.trigger_override with
+  | Some p -> Some p
+  | None -> base_trigger t
+
+(* VA pressure tightens the policy: reclamation fires earlier.  The
+   override never loosens the configured trigger. *)
+let set_trigger_pages t pages =
+  if pages < 1 then invalid_arg "Reuse_policy.set_trigger_pages: pages < 1";
+  match base_trigger t with
+  | Some base -> t.trigger_override <- Some (min base pages)
+  | None -> ()
 
 let after_free t =
   (* A reclamation hook can legitimately fire after its pool is gone
@@ -22,21 +48,41 @@ let after_free t =
   else
   match t.strategy with
   | Manual -> ()
-  | Interval_reuse { trigger_pages } ->
-    if Shadow_pool.freed_shadow_pages t.pool >= trigger_pages then reclaim t
-  | Conservative_gc { trigger_pages; scan_cost_per_object } ->
-    if Shadow_pool.freed_shadow_pages t.pool >= trigger_pages then begin
-      (* The conservative scan walks every live object of the pool. *)
-      let live = Shadow_pool.live_blocks t.pool in
-      Vmm.Stats.count_instructions
-        (Shadow_pool.machine t.pool).Vmm.Machine.stats
-        (live * scan_cost_per_object);
-      t.gc_runs <- t.gc_runs + 1;
+  | Interval_reuse _ ->
+    (match trigger_pages t with
+    | Some trigger when Shadow_pool.freed_shadow_pages t.pool >= trigger ->
       reclaim t
-    end
+    | Some _ | None -> ())
+  | Conservative_gc { scan_cost_per_object; _ } ->
+    (match trigger_pages t with
+    | Some trigger when Shadow_pool.freed_shadow_pages t.pool >= trigger ->
+      (match t.gc with
+      | Some g ->
+        (* The real mark phase: scan roots and live heap words, pin
+           witnessed ranges, release only the proven-unreferenced ones.
+           It charges its own scan cost. *)
+        let report = Gc.run g in
+        t.gc_runs <- t.gc_runs + 1;
+        t.reclaimed <- t.reclaimed + report.Gc.reclaimed_pages
+      | None ->
+        (* No root set attached: the legacy modeled scan — cost charged,
+           reclamation unconditional.  Kept for cost-model experiments
+           where only the price of the scan matters. *)
+        let live = Shadow_pool.live_blocks t.pool in
+        Vmm.Stats.count_instructions
+          (Shadow_pool.machine t.pool).Vmm.Machine.stats
+          (live * scan_cost_per_object);
+        t.gc_runs <- t.gc_runs + 1;
+        reclaim t)
+    | Some _ | None -> ())
+
+let attach t = Shadow_pool.set_after_free_hook t.pool (fun () -> after_free t)
 
 let reclaimed_pages t = t.reclaimed
 let gc_runs t = t.gc_runs
+
+let pinned_ranges t =
+  match t.gc with Some g -> List.length (Gc.last_pinned g) | None -> 0
 
 let strategy_label = function
   | Interval_reuse { trigger_pages } ->

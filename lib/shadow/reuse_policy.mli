@@ -7,10 +7,14 @@
       but any dangling use of those objects afterwards is no longer
       guaranteed to trap — the paper argues the probability is
       unimportant at realistic thresholds (hours of allocations).
-    - {!Conservative_gc}: at the same trigger, first run a conservative
-      scan over the pool's live objects (cost charged to the machine as
-      instructions) to confirm no stale pointers remain, then release.
-      Models the paper's "infrequent GC over only the long-lived pools".
+    - {!Conservative_gc}: at the same trigger, run a conservative scan
+      to find ranges stale pointers could still reach.  With a real
+      collector attached ([?gc] at {!create}), witnessed ranges stay
+      pinned and only proven-unreferenced ones are released — the
+      detection guarantee survives reclamation.  Without one, the
+      legacy cost model applies: the scan is charged
+      ([scan_cost_per_object] instructions per live object) and the
+      release is unconditional.
     - {!Manual}: never reclaim; the programmer restructured the code
       instead. *)
 
@@ -21,15 +25,36 @@ type strategy =
 
 type t
 
-val create : strategy -> Shadow_pool.t -> t
+val create : ?gc:Gc.t -> strategy -> Shadow_pool.t -> t
+(** [gc] arms {!Conservative_gc} with the real mark phase; it must be
+    bound to the same pool (raises [Invalid_argument] otherwise). *)
 
 val after_free : t -> unit
 (** Call after each [poolfree] on the managed pool; runs the strategy's
     trigger check and possibly a reclamation.  A no-op once the managed
     pool has been destroyed (the hook may race a [pooldestroy]). *)
 
+val attach : t -> unit
+(** Install {!after_free} as the pool's reclamation hook
+    ({!Shadow_pool.set_after_free_hook}), so it fires on {e every} free
+    path — eager, degraded, and epoch retirement — without the caller
+    having to remember to call it. *)
+
+val trigger_pages : t -> int option
+(** The effective trigger threshold ([None] for {!Manual}). *)
+
+val set_trigger_pages : t -> int -> unit
+(** Tighten the trigger (VA-pressure response).  The override is capped
+    at the configured trigger — pressure can only make reclamation more
+    eager, never lazier.  No-op for {!Manual}.  Raises
+    [Invalid_argument] on a non-positive value. *)
+
 val reclaimed_pages : t -> int
 (** Cumulative shadow pages released by this policy. *)
 
 val gc_runs : t -> int
+
+val pinned_ranges : t -> int
+(** Ranges the most recent real GC run pinned (0 without a [gc]). *)
+
 val strategy_label : strategy -> string

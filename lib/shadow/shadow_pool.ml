@@ -13,13 +13,16 @@ type t = {
   slab : Slab.t option;
   shadow_ranges : (Addr.t, int * range_state) Hashtbl.t; (* base -> pages, state *)
   elided_live : (Addr.t, int) Hashtbl.t; (* addr -> size, statically-safe blocks *)
+  unmap : addr:Addr.t -> pages:int -> (unit, Fault_plan.error) result;
+  mutable after_free_hook : (unit -> unit) option;
+  mutable in_after_free_hook : bool;
   mutable elided_allocs : int;
   mutable elided_frees : int;
   mutable destroyed : bool;
 }
 
 let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
-    ?slab ~registry machine =
+    ?slab ?unmap ~registry machine =
   let reclaim =
     match recycler with
     | Some r -> Apa.Pool.Recycle r
@@ -49,6 +52,11 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
       ~allocator:(Apa.Pool.as_allocator pool)
       machine
   in
+  let unmap =
+    match unmap with
+    | Some f -> f
+    | None -> fun ~addr ~pages -> Syscalls.munmap machine ~addr ~pages
+  in
   {
     machine;
     registry;
@@ -58,6 +66,9 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
     slab;
     shadow_ranges;
     elided_live = Hashtbl.create 64;
+    unmap;
+    after_free_hook = None;
+    in_after_free_hook = false;
     elided_allocs = 0;
     elided_frees = 0;
     destroyed = false;
@@ -66,6 +77,17 @@ let create ?(arena_pages = 16) ?elem_size ?(reuse_shadow_va = true) ?recycler
 let check_usable t name =
   if t.destroyed then
     invalid_arg (Printf.sprintf "Shadow_pool.%s: pool already destroyed" name)
+
+let set_after_free_hook t f = t.after_free_hook <- Some f
+
+(* The hook may itself reclaim (that is its purpose), but a reclamation
+   must not re-enter the hook through the frees it performs. *)
+let run_after_free_hook t =
+  match t.after_free_hook with
+  | Some f when not t.in_after_free_hook ->
+    t.in_after_free_hook <- true;
+    Fun.protect ~finally:(fun () -> t.in_after_free_hook <- false) f
+  | Some _ | None -> ()
 
 let alloc t ?site size =
   check_usable t "alloc";
@@ -85,7 +107,8 @@ let free t ?site user =
      underlying free protects it. *)
   let obj = Object_registry.find_by_addr t.registry user in
   Shadow_heap.free t.heap ?site user;
-  match obj with Some o -> mark_range_freed t o | None -> ()
+  (match obj with Some o -> mark_range_freed t o | None -> ());
+  run_after_free_hook t
 
 let try_free t ?site user =
   check_usable t "free";
@@ -94,12 +117,14 @@ let try_free t ?site user =
   | Error _ as e -> e
   | Ok () ->
     (match obj with Some o -> mark_range_freed t o | None -> ());
+    run_after_free_hook t;
     Ok ()
 
 let free_unprotected t ?site user =
   check_usable t "free";
   let obj = Shadow_heap.free_unprotected t.heap ?site user in
   mark_range_freed t obj;
+  run_after_free_hook t;
   obj
 
 (* Epoch-mode free: validate + mark now, defer protection and canonical
@@ -114,7 +139,11 @@ let free_deferred t ?site user =
    set the reuse policy may reclaim. *)
 let retire_object t (obj : Object_registry.obj) =
   Shadow_heap.release_canonical t.heap obj;
-  mark_range_freed t obj
+  mark_range_freed t obj;
+  (* Epoch retirement is this object's real free completion, so the
+     reclamation hook fires here too — a long-lived pool under an epoch
+     scheme would otherwise never trigger its reuse policy. *)
+  run_after_free_hook t
 
 (* Raw pool access for fully degraded (pass-through) operation: the
    canonical block with no shadow alias at all. *)
@@ -178,24 +207,74 @@ let destroy t =
   Hashtbl.reset t.elided_live;
   Apa.Pool.destroy t.pool
 
+let freed_ranges t =
+  Hashtbl.fold
+    (fun base (pages, state) acc ->
+      match state with
+      | Rs_freed -> (base, pages) :: acc
+      | Rs_live -> acc)
+    t.shadow_ranges []
+  |> List.sort compare
+
+(* Release a chosen subset of the freed ranges, batching the release
+   syscalls: the ranges are fused with [Syscalls.coalesce_ranges] first,
+   so adjacent objects freed over time cost one [munmap] (or one merged
+   recycler run), mirroring what PR 7's epoch did for [mprotect].  A
+   merged run whose unmap fails is kept whole — its member ranges stay
+   protected and reclaimable later — rather than half-released. *)
+let reclaim_ranges t ranges =
+  check_usable t "reclaim_ranges";
+  (* Only ranges currently in the freed set are eligible; anything else
+     (live, quarantined, already reclaimed) is skipped, so callers may
+     pass stale lists safely. *)
+  let eligible =
+    List.filter
+      (fun (base, pages) ->
+        match Hashtbl.find_opt t.shadow_ranges base with
+        | Some (p, Rs_freed) -> p = pages
+        | Some (_, Rs_live) | None -> false)
+      ranges
+  in
+  let merged = Syscalls.coalesce_ranges eligible in
+  let released_runs =
+    match t.recycler with
+    | Some r ->
+      (* Recycling is pure bookkeeping — no syscall can fail — and the
+         free list receives the merged runs, not the per-object ones. *)
+      List.iter
+        (fun (base, pages) -> Apa.Page_recycler.put r ~base ~pages)
+        merged;
+      merged
+    | None ->
+      List.filter
+        (fun (base, pages) ->
+          match t.unmap ~addr:base ~pages with
+          | Ok () -> true
+          | Error _ -> false)
+        merged
+  in
+  let run_released (base, pages) =
+    let limit = base + Addr.of_page pages in
+    List.exists
+      (fun (rb, rp) -> base >= rb && limit <= rb + Addr.of_page rp)
+      released_runs
+  in
+  List.fold_left
+    (fun acc (base, pages) ->
+      if run_released (base, pages) then begin
+        Object_registry.forget_range t.registry ~base ~pages;
+        Hashtbl.remove t.shadow_ranges base;
+        acc + pages
+      end
+      else acc)
+    0 eligible
+
 let reclaim_freed_shadow t =
   check_usable t "reclaim_freed_shadow";
-  let freed =
-    Hashtbl.fold
-      (fun base (pages, state) acc ->
-        match state with
-        | Rs_freed -> (base, pages) :: acc
-        | Rs_live -> acc)
-      t.shadow_ranges []
-  in
-  List.iter
-    (fun (base, pages) ->
-      release_range t base pages;
-      Hashtbl.remove t.shadow_ranges base)
-    freed;
-  List.fold_left (fun acc (_, pages) -> acc + pages) 0 freed
+  reclaim_ranges t (freed_ranges t)
 
 let machine t = t.machine
+let registry t = t.registry
 let is_destroyed t = t.destroyed
 let live_blocks t = Apa.Pool.live_blocks t.pool
 

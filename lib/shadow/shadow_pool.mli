@@ -22,6 +22,7 @@ val create :
   ?reuse_shadow_va:bool ->
   ?recycler:Apa.Page_recycler.t ->
   ?slab:Slab.t ->
+  ?unmap:(addr:Vmm.Addr.t -> pages:int -> (unit, Vmm.Fault_plan.error) result) ->
   registry:Object_registry.t ->
   Vmm.Machine.t ->
   t
@@ -29,7 +30,10 @@ val create :
     (the paper's "simple solution").  With a [slab], shadow aliases come
     from {!Slab.take} (vectored pre-aliasing, overriding recycled-VA
     placement) and {!destroy} flushes the cache — the slab must be
-    private to this pool. *)
+    private to this pool.  [unmap] issues the ranged release syscall on
+    the reclaim path (default: {!Vmm.Syscalls.munmap} on this machine);
+    the runtime layer passes one wrapped in [Runtime.Retry], mirroring
+    how {!Epoch} takes its [protect]. *)
 
 val alloc : t -> ?site:string -> int -> Vmm.Addr.t
 val free : t -> ?site:string -> Vmm.Addr.t -> unit
@@ -104,9 +108,36 @@ val reclaim_freed_shadow : t -> int
     the number of pages released.  After this, a dangling use of those
     objects is no longer guaranteed to be detected — this is precisely
     the small-probability trade the paper accepts when address space must
-    be reclaimed from immortal pools. *)
+    be reclaimed from immortal pools.  Equivalent to
+    [reclaim_ranges t (freed_ranges t)]. *)
+
+val freed_ranges : t -> (Vmm.Addr.t * int) list
+(** The freed-but-still-protected shadow ranges, sorted by base — the
+    candidate set a conservative {!Gc} marks against. *)
+
+val reclaim_ranges : t -> (Vmm.Addr.t * int) list -> int
+(** Release a chosen subset of {!freed_ranges} (a {!Gc} passes only the
+    ranges its mark phase proved unreferenced), returning pages
+    released.  The release syscalls are batched: member ranges are fused
+    via {!Vmm.Syscalls.coalesce_ranges} and each merged run costs one
+    [unmap] (or one recycler insertion).  A merged run whose unmap fails
+    is kept whole — still protected, reclaimable later — never
+    half-released.  Ranges not currently in the freed set are skipped. *)
+
+val set_after_free_hook : t -> (unit -> unit) -> unit
+(** Install the pool's reclamation hook (typically
+    [Reuse_policy.after_free]).  It runs after every completed free —
+    eager {!free}/{!try_free}, degraded {!free_unprotected}, {e and}
+    epoch {!retire_object} — so a long-lived pool's reuse policy fires
+    no matter which free path the scheme uses.  Re-entry is suppressed:
+    a reclamation performed by the hook cannot recursively trigger it. *)
 
 val machine : t -> Vmm.Machine.t
+
+val registry : t -> Object_registry.t
+(** The diagnostic registry this pool maintains — the live-object
+    enumeration a conservative {!Gc} scans heap words through. *)
+
 val is_destroyed : t -> bool
 val live_blocks : t -> int
 val shadow_pages_live : t -> int

@@ -1,0 +1,141 @@
+open Vmm
+
+type level =
+  | L_ok
+  | L_gc
+  | L_tighten
+  | L_degrade
+
+let level_label = function
+  | L_ok -> "ok"
+  | L_gc -> "gc"
+  | L_tighten -> "tighten"
+  | L_degrade -> "degrade"
+
+let level_rank = function
+  | L_ok -> 0
+  | L_gc -> 1
+  | L_tighten -> 2
+  | L_degrade -> 3
+
+type config = {
+  budget_pages : int;
+  gc_watermark : float;
+  tighten_watermark : float;
+  degrade_watermark : float;
+}
+
+let default_watermarks ~budget_pages =
+  {
+    budget_pages;
+    gc_watermark = 0.50;
+    tighten_watermark = 0.75;
+    degrade_watermark = 0.90;
+  }
+
+type transition = {
+  from_level : level;
+  to_level : level;
+  at_pages_used : int;
+}
+
+type t = {
+  machine : Machine.t;
+  config : config;
+  va_pages_used : Telemetry.Metrics.gauge;
+  mutable level : level;
+  mutable transitions_rev : transition list;
+}
+
+let check (c : config) =
+  if c.budget_pages <= 0 then invalid_arg "Va_budget: budget_pages <= 0";
+  let w name v =
+    if Float.is_nan v || v <= 0. || v > 1. then
+      invalid_arg (Printf.sprintf "Va_budget: %s outside (0, 1]" name)
+  in
+  w "gc_watermark" c.gc_watermark;
+  w "tighten_watermark" c.tighten_watermark;
+  w "degrade_watermark" c.degrade_watermark;
+  if c.gc_watermark > c.tighten_watermark
+     || c.tighten_watermark > c.degrade_watermark
+  then invalid_arg "Va_budget: watermarks must be non-decreasing (gc <= tighten <= degrade)"
+
+let create ?config ~budget_pages machine =
+  let config =
+    match config with
+    | Some c -> { c with budget_pages }
+    | None -> default_watermarks ~budget_pages
+  in
+  check config;
+  {
+    machine;
+    config;
+    va_pages_used =
+      Telemetry.Metrics.gauge
+        (Stats.registry machine.Machine.stats)
+        "shadow.va_pages_used";
+    level = L_ok;
+    transitions_rev = [];
+  }
+
+let config t = t.config
+
+(* Per-machine accounting: total VA ever handed out, in pages.  This is
+   deliberately monotone — address space is never returned to the bump
+   pointer, only recycled — so pressure can only be relieved by reuse
+   slowing the growth, never by the fraction dropping. *)
+let used_pages t = Machine.va_bytes_used t.machine / Addr.page_size
+
+(* Per-pool accounting: the shadow pages one pool currently holds. *)
+let pool_pages pool = Shadow_pool.shadow_pages_live pool
+
+let remaining_pages t = max 0 (t.config.budget_pages - used_pages t)
+let used_fraction t = float_of_int (used_pages t) /. float_of_int t.config.budget_pages
+
+let level_of_fraction (c : config) f =
+  if f >= c.degrade_watermark then L_degrade
+  else if f >= c.tighten_watermark then L_tighten
+  else if f >= c.gc_watermark then L_gc
+  else L_ok
+
+let level t = t.level
+
+let poll t =
+  let pages = used_pages t in
+  Telemetry.Metrics.set_gauge t.va_pages_used (float_of_int pages);
+  let next = level_of_fraction t.config (used_fraction t) in
+  if next <> t.level then begin
+    t.transitions_rev <-
+      { from_level = t.level; to_level = next; at_pages_used = pages }
+      :: t.transitions_rev;
+    t.level <- next;
+    Telemetry.Sink.emit_always t.machine.Machine.trace (fun () ->
+        Telemetry.Event.Va_pressure
+          {
+            level = level_label next;
+            pages_used = pages;
+            budget_pages = t.config.budget_pages;
+          })
+  end;
+  next
+
+let transitions t = List.rev t.transitions_rev
+
+(* Time-to-exhaustion projection at the observed burn rate, in seconds.
+   [None] means the budget is already exhausted (zero remaining) would
+   be wrong — exhausted now is 0 seconds — so [None] is reserved for a
+   zero rate, where the budget is never exhausted. *)
+let seconds_until_exhaustion t ~pages_per_second =
+  if Float.is_nan pages_per_second || pages_per_second < 0. then
+    invalid_arg "Va_budget.seconds_until_exhaustion: pages_per_second < 0";
+  if pages_per_second = 0. then None
+  else
+    Some
+      (Exhaustion.seconds_until_exhaustion
+         ~va_bytes:(float_of_int (remaining_pages t * Addr.page_size))
+         ~page_bytes:Addr.page_size ~pages_per_second)
+
+let hours_until_exhaustion t ~pages_per_second =
+  Option.map
+    (fun s -> s /. 3600.)
+    (seconds_until_exhaustion t ~pages_per_second)

@@ -9,6 +9,13 @@ type kind =
   | Tlb_flush of { pages : int }
   | Violation of { kind : string; addr : int }
   | Mode_change of { from_mode : string; to_mode : string; reason : string }
+  | Gc_run of {
+      scanned_words : int;
+      freed_ranges : int;
+      pinned : int;
+      reclaimed_pages : int;
+    }
+  | Va_pressure of { level : string; pages_used : int; budget_pages : int }
 
 type t = {
   seq : int;
@@ -27,6 +34,8 @@ let name = function
   | Tlb_flush _ -> "tlb-flush"
   | Violation { kind; _ } -> "violation:" ^ kind
   | Mode_change _ -> "mode-change"
+  | Gc_run _ -> "gc-run"
+  | Va_pressure { level; _ } -> "va-pressure:" ^ level
 
 let category = function
   | Malloc _ | Free _ -> "heap"
@@ -35,6 +44,7 @@ let category = function
   | Page_fault _ | Tlb_flush _ -> "mmu"
   | Violation _ -> "detector"
   | Mode_change _ -> "governor"
+  | Gc_run _ | Va_pressure _ -> "endurance"
 
 let hex addr = Printf.sprintf "0x%x" addr
 
@@ -76,6 +86,19 @@ let args = function
       ("from", Json.String from_mode);
       ("to", Json.String to_mode);
       ("reason", Json.String reason);
+    ]
+  | Gc_run { scanned_words; freed_ranges; pinned; reclaimed_pages } ->
+    [
+      ("scanned_words", Json.Int scanned_words);
+      ("freed_ranges", Json.Int freed_ranges);
+      ("pinned", Json.Int pinned);
+      ("reclaimed_pages", Json.Int reclaimed_pages);
+    ]
+  | Va_pressure { level; pages_used; budget_pages } ->
+    [
+      ("level", Json.String level);
+      ("pages_used", Json.Int pages_used);
+      ("budget_pages", Json.Int budget_pages);
     ]
 
 let pp ppf t =

@@ -17,6 +17,14 @@ type kind =
   | Tlb_flush of { pages : int }
   | Violation of { kind : string; addr : int }
   | Mode_change of { from_mode : string; to_mode : string; reason : string }
+  | Gc_run of {
+      scanned_words : int;  (** root + heap words the mark phase visited *)
+      freed_ranges : int;  (** candidate freed-but-protected ranges *)
+      pinned : int;  (** ranges kept because a witness was found *)
+      reclaimed_pages : int;  (** shadow pages released this run *)
+    }  (** one conservative-GC cycle over a long-lived pool (§3.4) *)
+  | Va_pressure of { level : string; pages_used : int; budget_pages : int }
+      (** a VA-budget watermark crossing ([Shadow.Va_budget]) *)
 
 type t = {
   seq : int;  (** recording order, a tiebreak for equal timestamps *)
