@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke soak-smoke lint-smoke lint-src check clean
+.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke soak-smoke lint-smoke pools-smoke lint-src check clean
 
 all: build
 
@@ -65,6 +65,23 @@ lint-smoke:
 	done
 	@echo "lint-smoke: OK"
 
+# Pool-inference CLI smoke: the human pool map renders, the SARIF
+# export matches its golden, and two independent `pools --json` runs
+# over one program are byte-identical (the canonical-pool-map
+# determinism contract the bench validator also gates on).
+pools-smoke:
+	dune build bin/danguard.exe
+	dune exec bin/danguard.exe -- pools examples/programs/figure1.mc
+	dune exec bin/danguard.exe -- pools --json examples/programs/figure1.mc \
+	  > /tmp/pools.a.json
+	dune exec bin/danguard.exe -- pools --json examples/programs/figure1.mc \
+	  > /tmp/pools.b.json
+	diff -u /tmp/pools.a.json /tmp/pools.b.json
+	rc=0; dune exec bin/danguard.exe -- lint --sarif examples/lint/must_uaf.mc \
+	  > /tmp/lint.must_uaf.sarif || rc=$$?; [ $$rc -eq 3 ] || exit 1
+	diff -u examples/lint/must_uaf.expected.sarif /tmp/lint.must_uaf.sarif
+	@echo "pools-smoke: OK"
+
 # No new bare failwith / assert false in the core libraries (each must
 # name the invariant it guards; see scripts/lint_src.sh).
 lint-src:
@@ -77,6 +94,7 @@ check:
 	dune runtest
 	$(MAKE) lint-src
 	$(MAKE) lint-smoke
+	$(MAKE) pools-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) faults-smoke
 	$(MAKE) farm-smoke

@@ -434,7 +434,8 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~static_elision ~epoch_batching ~resilience ~farm ~fleet ~soak =
+    ~static_elision ~pool_inference ~epoch_batching ~resilience ~farm ~fleet
+    ~soak =
   let doc =
     J.Obj
       [
@@ -451,6 +452,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
                bechamel) );
         ("fastpath", fastpath);
         ("static_elision", static_elision);
+        ("pool_inference", pool_inference);
         ("epoch_batching", epoch_batching);
         ("resilience", resilience);
         ("farm", farm);
@@ -502,6 +504,7 @@ let () =
   run_ablations ();
   let fastpath = Fastpath.run ~smoke:!smoke () in
   let static_elision = Static_elision.run () in
+  let pool_inference = Pool_inference.run () in
   let epoch_batching = Epoch_batching.run ~smoke:!smoke () in
   let farm = Farm.run ~smoke:!smoke () in
   let fleet = Fleet_report.run ~smoke:!smoke () in
@@ -520,7 +523,8 @@ let () =
         ("table2", Harness.Table2.to_json t2);
         ("table3", Harness.Table3.to_json t3);
       ]
-    ~costs ~bechamel ~fastpath ~static_elision ~epoch_batching
+    ~costs ~bechamel ~fastpath ~static_elision ~pool_inference
+    ~epoch_batching
     ~resilience:(Harness.Resilience.to_json resilience)
     ~farm ~fleet ~soak;
   print_endline "\nAll sections complete."

@@ -111,6 +111,78 @@ let () =
       | J.Bool true -> ()
       | _ -> fail "probe %s trapped at a site the analysis marked Safe" pname)
     se_probes;
+  (* Pool inference: on the workloads with scoped lifetimes (churn and
+     server) the inferred-pool placement must hold peak shadow VA
+     strictly below the single-global-pool baseline, with identical
+     outputs and a byte-deterministic canonical pool map; and the
+     seeded-bug probes must produce exactly the same violation list
+     under both placements — inference moves VA lifetimes, never
+     detections. *)
+  let pool_inference = member "" doc "pool_inference" in
+  let pi_rows =
+    non_empty_list "pool_inference.rows"
+      (member "pool_inference" pool_inference "rows")
+  in
+  let pi_int row k =
+    match member "pool_inference.rows[]" row k with
+    | J.Int n -> n
+    | _ -> fail "pool_inference.rows[].%s is not an int" k
+  in
+  let pi_str row k =
+    match member "pool_inference.rows[]" row k with
+    | J.String s -> s
+    | _ -> fail "pool_inference.rows[].%s is not a string" k
+  in
+  List.iter
+    (fun row ->
+      let name = pi_str row "name" in
+      (match member "pool_inference.rows[]" row "outputs_equal" with
+       | J.Bool true -> ()
+       | _ -> fail "pool inference changed %s's output" name);
+      (match member "pool_inference.rows[]" row "deterministic" with
+       | J.Bool true -> ()
+       | _ -> fail "pool map for %s is not deterministic" name);
+      if pi_int row "pools" <= 0 then
+        fail "pool inference found no pools on %s" name;
+      if name = "churn" || name = "server" then begin
+        if pi_int row "inferred_peak_pages" >= pi_int row "global_peak_pages"
+        then
+          fail
+            "inferred pools did not lower peak shadow VA on %s (%d vs %d)"
+            name
+            (pi_int row "inferred_peak_pages")
+            (pi_int row "global_peak_pages");
+        if pi_int row "pools_destroyed" <= 0 then
+          fail "pool inference never destroyed a pool on %s" name;
+        if pi_int row "destroy_unmapped_pages" <= 0 then
+          fail "pool destroys released no shadow pages on %s" name
+      end)
+    pi_rows;
+  List.iter
+    (fun name ->
+      if not (List.exists (fun row -> pi_str row "name" = name) pi_rows) then
+        fail "pool_inference has no %s row" name)
+    [ "churn"; "server" ];
+  let pi_probes =
+    non_empty_list "pool_inference.probes"
+      (member "pool_inference" pool_inference "probes")
+  in
+  List.iter
+    (fun probe ->
+      let pname =
+        match member "pool_inference.probes[]" probe "name" with
+        | J.String s -> s
+        | _ -> "?"
+      in
+      (match member "pool_inference.probes[]" probe "detected" with
+       | J.Bool true -> ()
+       | _ -> fail "probe %s not detected under inferred pools" pname);
+      match member "pool_inference.probes[]" probe "detections_identical" with
+      | J.Bool true -> ()
+      | _ ->
+        fail "probe %s detections differ between inferred and global pools"
+          pname)
+    pi_probes;
   (* Resilience campaign: every row must have completed without an
      undiagnosed crash, and every detection miss must be attributed to a
      recorded degradation window. *)
@@ -434,8 +506,10 @@ let () =
          ladder_governor)
   then fail "soak ladder's governor transition is not attributed to va-pressure";
   Printf.printf
-    "validate: %s OK (%d fastpath rows, %d elision rows, %d epoch rows, \
-     %d resilience rows, %d farm rows, %d fleet runs, %d soak probes)\n"
-    file (List.length rows) (List.length se_rows) (List.length epoch_rows)
-    (List.length res_rows) (List.length farm_rows) (List.length fleet_rows)
+    "validate: %s OK (%d fastpath rows, %d elision rows, %d pool-inference \
+     rows, %d epoch rows, %d resilience rows, %d farm rows, %d fleet runs, \
+     %d soak probes)\n"
+    file (List.length rows) (List.length se_rows) (List.length pi_rows)
+    (List.length epoch_rows) (List.length res_rows) (List.length farm_rows)
+    (List.length fleet_rows)
     (soak_int "soak.with_gc" with_gc "total_probes")

@@ -366,9 +366,16 @@ let lint_cmd =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"FILE.mc" ~doc:"MiniC source file.")
   in
+  let sarif =
+    Arg.(
+      value & flag
+      & info [ "sarif" ]
+          ~doc:"Emit a SARIF 2.1.0 document (one result per flagged \
+                finding); takes precedence over $(b,--json).")
+  in
   (* Exit codes are part of the contract (pinned by make lint-smoke):
      0 clean / may-only, 2 malformed input, 3 at least one Must-UAF. *)
-  let run file json =
+  let run file json sarif =
     let fail msg =
       prerr_endline msg;
       Stdlib.exit 2
@@ -387,7 +394,9 @@ let lint_cmd =
          fail (Printf.sprintf "%s: error: %s" file msg)
        | result ->
          let d = Minic.Diagnostics.make ~file result in
-         if json then
+         if sarif then
+           print_endline (J.to_string_pretty (Minic.Diagnostics.to_sarif d))
+         else if json then
            print_endline (J.to_string_pretty (Minic.Diagnostics.to_json d))
          else print_string (Minic.Diagnostics.render d);
          Stdlib.exit (Minic.Diagnostics.exit_code d))
@@ -396,6 +405,46 @@ let lint_cmd =
              free and dereference gets a Safe / may-UAF / must-UAF verdict \
              and every malloc site a protection-elision verdict.  Exits 3 \
              if a must-UAF is found, 2 on malformed input."
+    Term.(const run $ file $ json_arg $ sarif)
+
+(* ---- pools ---- *)
+
+let pools_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.mc" ~doc:"MiniC source file.")
+  in
+  let run file json =
+    let fail msg =
+      prerr_endline msg;
+      Stdlib.exit 2
+    in
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Minic.Parser.parse source with
+    | exception Minic.Parser.Parse_error { line; message } ->
+      fail (Printf.sprintf "%s:%d: error: %s" file line message)
+    | exception Minic.Lexer.Lex_error { line; message } ->
+      fail (Printf.sprintf "%s:%d: error: %s" file line message)
+    | program ->
+      (match Minic.Poolify.analyze program with
+       | exception Minic.Typecheck.Type_error msg ->
+         fail (Printf.sprintf "%s: error: %s" file msg)
+       | exception Minic.Ast.Semantic_error msg ->
+         fail (Printf.sprintf "%s: error: %s" file msg)
+       | exception Minic.Pool_transform.Transform_error msg ->
+         fail (Printf.sprintf "%s: error: %s" file msg)
+       | result ->
+         if json then
+           print_endline
+             (J.to_string_pretty (Minic.Poolify.to_json ~file result))
+         else print_string (Minic.Poolify.render ~file result))
+  in
+  cmd "pools"
+    ~doc:"Static pool inference over the field-sensitive DSA partition: \
+          the pool each allocation site lands in, the function whose \
+          scope owns the pool's create/destroy, type homogeneity, and a \
+          per-site dangling-risk score.  Output is canonically ordered \
+          (byte-identical across runs).  Exits 2 on malformed input."
     Term.(const run $ file $ json_arg)
 
 (* ---- trace ---- *)
@@ -1066,8 +1115,8 @@ let main_cmd =
     (Cmd.info "danguard" ~version:"1.0.0" ~doc)
     [
       table_cmd; addr_space_cmd; detect_cmd; faults_cmd; exhaustion_cmd;
-      run_cmd; list_cmd; compile_cmd; lint_cmd; trace_cmd; demo_cmd; farm_cmd;
-      report_cmd; soak_cmd; help_cmd;
+      run_cmd; list_cmd; compile_cmd; lint_cmd; pools_cmd; trace_cmd; demo_cmd;
+      farm_cmd; report_cmd; soak_cmd; help_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

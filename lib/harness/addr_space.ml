@@ -29,6 +29,8 @@ let measure ?connections (server : Workload.Spec.server) =
      | Runtime.Schemes.Shadow_pool_epoch { global; recycler; _ } ->
        wasted := !wasted + Shadow.Shadow_pool.shadow_pages_live global;
        recycled := !recycled + Apa.Page_recycler.total_recycled_pages recycler
+     | Runtime.Schemes.Shadow_pool_inferred { global; _ } ->
+       wasted := !wasted + Shadow.Shadow_pool.shadow_pages_live global
      | Runtime.Schemes.Opaque | Runtime.Schemes.Recoverable _ -> ());
     let va = Vmm.Machine.va_bytes_used scheme.Runtime.Scheme.machine in
     if va > !max_va then max_va := va

@@ -141,7 +141,7 @@ type summary = {
 
 type ctx = {
   program : Ast.program;
-  pt : Points_to.t;
+  pt : Pt_query.t;
   nclasses : int;
   heap : C.t;
   site_of_pos : (Ast.pos, int) Hashtbl.t;
@@ -190,8 +190,8 @@ let obj_class ctx ~fname e =
   | Ast.Malloc_array (_, _, p)
   | Ast.Pool_malloc (_, _, p)
   | Ast.Pool_malloc_array (_, _, _, p) ->
-    Option.map (Points_to.site_class ctx.pt) (Hashtbl.find_opt ctx.site_of_pos p)
-  | e -> Points_to.expr_pointee_class ctx.pt ~fname e
+    Option.map ctx.pt.Pt_query.site_class (Hashtbl.find_opt ctx.site_of_pos p)
+  | e -> ctx.pt.Pt_query.expr_pointee_class ~fname e
 
 (* Status of a pointer value we do not track by identity (heap loads,
    globals, unknown call results): alive unless its object class may
@@ -244,9 +244,9 @@ let apply_may_free ctx ~fname st freed_classes =
         (fun x v ->
           if v.value = Vnull then v
           else
-            match Points_to.var_class ctx.pt ~fname x with
+            match ctx.pt.Pt_query.var_class ~fname x with
             | Some vc ->
-              (match Points_to.pointee ctx.pt vc with
+              (match ctx.pt.Pt_query.pointee vc with
                | Some oc when C.mem oc freed_classes ->
                  { v with freed = weaken v.freed }
                | _ -> v)
@@ -270,14 +270,14 @@ let rec eval ctx fc st e : vinfo * astate =
              error); any sound default works. *)
           vinfo_of_class ctx st
             (Option.bind
-               (Points_to.var_class ctx.pt ~fname:fc.fname x)
-               (Points_to.pointee ctx.pt))
+               (ctx.pt.Pt_query.var_class ~fname:fc.fname x)
+               ctx.pt.Pt_query.pointee)
       else
         (* Global: identity not tracked, fall back to its class. *)
         vinfo_of_class ctx st
           (Option.bind
-             (Points_to.var_class ctx.pt ~fname:fc.fname x)
-             (Points_to.pointee ctx.pt))
+             (ctx.pt.Pt_query.var_class ~fname:fc.fname x)
+             ctx.pt.Pt_query.pointee)
     in
     (v, st)
   | Ast.Binop (_, a, b) ->
@@ -359,7 +359,7 @@ let rec eval ctx fc st e : vinfo * astate =
          | Some rv -> rv
          | None ->
            vinfo_of_class ctx st
-             (Option.bind (Points_to.ret_class ctx.pt g) (Points_to.pointee ctx.pt)))
+             (Option.bind (ctx.pt.Pt_query.ret_class g) ctx.pt.Pt_query.pointee))
       | None -> vinfo_top
     in
     (ret, st)
@@ -417,8 +417,8 @@ let exec_free ctx fc st ~pos e =
         | Some c
           when (match
                   Option.bind
-                    (Points_to.var_class ctx.pt ~fname:fc.fname x)
-                    (Points_to.pointee ctx.pt)
+                    (ctx.pt.Pt_query.var_class ~fname:fc.fname x)
+                    ctx.pt.Pt_query.pointee
                 with
                | Some oc -> oc = c
                | None -> false)
@@ -555,16 +555,15 @@ let positions_of_sites program =
       end);
   (tbl, rev)
 
-let analyze (program : Ast.program) =
+let analyze_with (q : Pt_query.t) (program : Ast.program) =
   Typecheck.check program;
-  let pt = Points_to.analyze program in
   let site_of_pos, pos_of_site = positions_of_sites program in
   let ctx =
     {
       program;
-      pt;
-      nclasses = Points_to.class_count pt;
-      heap = C.of_list (Points_to.heap_classes pt);
+      pt = q;
+      nclasses = q.Pt_query.nclasses;
+      heap = C.of_list q.Pt_query.heap;
       site_of_pos;
       summaries = Hashtbl.create 16;
       changed = true;
@@ -620,7 +619,7 @@ let analyze (program : Ast.program) =
     findings;
   let sites = ref [] in
   Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name ~pos ->
-      let c = Points_to.site_class pt site in
+      let c = q.Pt_query.site_class site in
       let verdict =
         match Hashtbl.find_opt class_verdict c with
         | Some v -> v
@@ -641,6 +640,20 @@ let analyze (program : Ast.program) =
       Hashtbl.fold (fun c v acc -> (c, v) :: acc) class_verdict []
       |> List.sort compare;
   }
+
+(* Default engine: the field-sensitive DSA partition — strictly finer
+   classes than Steensgaard's, so fewer May-UAF false positives (freeing
+   [p->a] no longer poisons [p->b]) while every soundness argument above
+   carries over unchanged (it only relies on the partition being a sound
+   may-alias over-approximation, which both are). *)
+let analyze ?(engine = `Dsa) (program : Ast.program) =
+  Typecheck.check program;
+  let q =
+    match engine with
+    | `Dsa -> Dsa.query (Dsa.analyze program)
+    | `Steensgaard -> Points_to.query (Points_to.analyze program)
+  in
+  analyze_with q program
 
 (* ---- elision policy ---------------------------------------------------- *)
 

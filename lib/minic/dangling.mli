@@ -54,9 +54,18 @@ type result = {
   class_verdicts : (int * verdict) list;  (** heap classes only *)
 }
 
-val analyze : Ast.program -> result
+val analyze : ?engine:[ `Dsa | `Steensgaard ] -> Ast.program -> result
 (** Runs {!Typecheck.check} first; raises {!Typecheck.Type_error} or
-    {!Ast.Semantic_error} on malformed input. *)
+    {!Ast.Semantic_error} on malformed input.  [engine] selects the
+    aliasing partition: the default [`Dsa] is field-sensitive
+    ({!Dsa}), so freeing [p->a] no longer poisons [p->b];
+    [`Steensgaard] keeps the original collapsed-field classes (kept for
+    differential testing — its verdicts are a sound coarsening of
+    [`Dsa]'s). *)
+
+val analyze_with : Pt_query.t -> Ast.program -> result
+(** {!analyze} over an explicit partition (must have been computed on
+    this exact program, so the positional site numbering agrees). *)
 
 val elide_policy : result -> string -> bool
 (** [elide_policy r site] is [true] iff the runtime allocation-site

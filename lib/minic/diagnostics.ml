@@ -100,3 +100,106 @@ let to_json t =
       ("findings", J.List (List.map finding_json t.result.Dangling.findings));
       ("sites", J.List (List.map site_json t.result.Dangling.sites));
     ]
+
+(* SARIF 2.1.0 (the static-analysis interchange format editors and code
+   hosts ingest): one run, one driver, two rules, a result per May/Must
+   finding.  Safe findings and the per-site notes stay JSON/human-only —
+   SARIF consumers only want actionable results. *)
+let to_sarif t =
+  let rule_id (v : Dangling.verdict) =
+    match v with
+    | Dangling.Must_uaf -> "must-uaf"
+    | Dangling.May_uaf -> "may-uaf"
+    (* invariant: Safe findings are filtered out before rule lookup *)
+    | Dangling.Safe -> assert false
+  in
+  let level (v : Dangling.verdict) =
+    match v with
+    | Dangling.Must_uaf -> "error"
+    | Dangling.May_uaf -> "warning"
+    (* invariant: Safe findings are filtered out before rule lookup *)
+    | Dangling.Safe -> assert false
+  in
+  let rule id desc =
+    J.Obj
+      [
+        ("id", J.String id);
+        ("name", J.String id);
+        ("shortDescription", J.Obj [ ("text", J.String desc) ]);
+      ]
+  in
+  let result_json (fd : Dangling.finding) =
+    let message =
+      Printf.sprintf "%s of a %s pointer in %s%s"
+        (Dangling.kind_label fd.kind)
+        (match fd.verdict with
+         | Dangling.Must_uaf -> "freed"
+         | _ -> "possibly-freed")
+        fd.fname
+        (if fd.witness = "" then "" else Printf.sprintf " (%s)" fd.witness)
+    in
+    J.Obj
+      [
+        ("ruleId", J.String (rule_id fd.verdict));
+        ("level", J.String (level fd.verdict));
+        ("message", J.Obj [ ("text", J.String message) ]);
+        ( "locations",
+          J.List
+            [
+              J.Obj
+                [
+                  ( "physicalLocation",
+                    J.Obj
+                      [
+                        ( "artifactLocation",
+                          J.Obj [ ("uri", J.String t.file) ] );
+                        ( "region",
+                          J.Obj
+                            [
+                              ("startLine", J.Int fd.pos.Ast.line);
+                              ("startColumn", J.Int fd.pos.Ast.col);
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  let results =
+    List.filter_map
+      (fun (fd : Dangling.finding) ->
+        match fd.verdict with
+        | Dangling.Safe -> None
+        | Dangling.May_uaf | Dangling.Must_uaf -> Some (result_json fd))
+      t.result.Dangling.findings
+  in
+  J.Obj
+    [
+      ( "$schema",
+        J.String "https://json.schemastore.org/sarif-2.1.0.json" );
+      ("version", J.String "2.1.0");
+      ( "runs",
+        J.List
+          [
+            J.Obj
+              [
+                ( "tool",
+                  J.Obj
+                    [
+                      ( "driver",
+                        J.Obj
+                          [
+                            ("name", J.String "danguard-lint");
+                            ( "rules",
+                              J.List
+                                [
+                                  rule "may-uaf"
+                                    "Possible use of a dangling pointer";
+                                  rule "must-uaf"
+                                    "Definite use of a dangling pointer";
+                                ] );
+                          ] );
+                    ] );
+                ("results", J.List results);
+              ];
+          ] );
+    ]

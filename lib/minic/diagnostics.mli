@@ -16,6 +16,13 @@ val render : t -> string
 
 val to_json : t -> Telemetry.Json.t
 
+val to_sarif : t -> Telemetry.Json.t
+(** SARIF 2.1.0 document: one run with driver [danguard-lint] and rules
+    [may-uaf] (level warning) / [must-uaf] (level error), one result
+    per flagged finding with its physical location.  Safe findings and
+    per-site notes are not emitted — SARIF carries actionable results
+    only.  Shape pinned by examples/lint/must_uaf.expected.sarif. *)
+
 val has_must : t -> bool
 
 val exit_code : t -> int

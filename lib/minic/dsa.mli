@@ -1,0 +1,76 @@
+(** DSA-lite: field-sensitive unification points-to analysis.
+
+    Same lattice family as {!Points_to} (Steensgaard unification over a
+    finite node graph, allocation-site-keyed heap nodes, positional
+    site numbering shared with {!Points_to.iter_malloc_sites}) with one
+    structural refinement: object nodes keep one points-to edge {e per
+    field name} instead of a single collapsed field node.  [p->a] and
+    [p->b] therefore land in distinct classes unless the program itself
+    aliases them, which removes the collapsed-field false positives in
+    {!Dangling} and splits coarse all-fields pools into finer ones for
+    {!Poolify}.
+
+    Call sites unify actuals with the callee's formals and the call
+    result with the callee's return node — the callee's summary graph
+    is inlined into the one global graph, context-insensitively.  This
+    is deliberate: {!Dangling}'s interprocedural effect summaries
+    (may-free sets, entry states) are indexed by global class id, and
+    per-call-site cloning would break the callee-class/caller-class
+    correspondence those summaries need to stay sound.
+
+    Freezing assigns deterministic class ids (sites in program order,
+    then variables and returns by name, then a breadth-first edge
+    closure), so repeated runs over the same program produce identical
+    partitions — the pool-map determinism gate depends on this. *)
+
+type class_id = int
+
+type t
+(** Frozen analysis result. *)
+
+val analyze : Ast.program -> t
+(** Build and freeze the points-to partition.  The program should
+    already typecheck; behaviour on ill-typed programs is unspecified
+    (no exception guarantees). *)
+
+val heap_classes : t -> class_id list
+(** Classes containing at least one allocation site, sorted. *)
+
+val class_count : t -> int
+
+val site_class : t -> int -> class_id
+(** Class allocated into by the [n]-th malloc site in program order
+    (the {!Points_to.iter_malloc_sites} numbering).
+    @raise Invalid_argument on unknown sites. *)
+
+val var_class : t -> fname:string -> string -> class_id option
+(** Class of variable [name] in function [fname] (falls back to the
+    global scope). *)
+
+val ret_class : t -> string -> class_id option
+val pointee : t -> class_id -> class_id option
+
+val field_class : t -> class_id -> string -> class_id option
+(** Class of pointer values stored in the named field of this (object)
+    class — per field, unlike {!Points_to.field_class}. *)
+
+val field_names : t -> class_id -> string list
+(** Field names with outgoing edges, sorted. *)
+
+val succ : t -> class_id -> class_id list
+(** All outgoing edges: pointee (if any) then field targets in
+    field-name order. *)
+
+val struct_hint : t -> class_id -> string option
+
+val struct_names : t -> class_id -> string list
+(** Every struct name allocated into the class, sorted: a singleton
+    means the class is type-homogeneous (the paper's type-safe-pool
+    condition). *)
+
+val expr_value_class : t -> fname:string -> Ast.expr -> class_id option
+val expr_pointee_class : t -> fname:string -> Ast.expr -> class_id option
+
+val query : t -> Pt_query.t
+(** Freeze behind the analysis-agnostic interface shared with
+    {!Points_to.query}. *)

@@ -1,30 +1,29 @@
-let closure pt seeds =
+let closure (q : Pt_query.t) seeds =
   let seen = Hashtbl.create 16 in
   let rec visit c =
     if not (Hashtbl.mem seen c) then begin
       Hashtbl.replace seen c ();
-      Option.iter visit (Points_to.pointee pt c);
-      Option.iter visit (Points_to.field_class pt c)
+      List.iter visit (q.Pt_query.succ c)
     end
   in
   List.iter visit seeds;
   Hashtbl.fold (fun c () acc -> c :: acc) seen []
 
-let reachable_from_globals pt (program : Ast.program) =
+let reachable_from_globals (q : Pt_query.t) (program : Ast.program) =
   let seeds =
     List.filter_map
-      (fun (_, name) -> Points_to.var_class pt ~fname:"" name)
+      (fun (_, name) -> q.Pt_query.var_class ~fname:"" name)
       program.globals
   in
-  closure pt seeds
+  closure q seeds
 
-let escapes pt (f : Ast.func) c =
+let escapes (q : Pt_query.t) (f : Ast.func) c =
   let seeds =
     List.filter_map
-      (fun (_, p) -> Points_to.var_class pt ~fname:f.name p)
+      (fun (_, p) -> q.Pt_query.var_class ~fname:f.name p)
       f.params
-    @ (match Points_to.ret_class pt f.name with
+    @ (match q.Pt_query.ret_class f.name with
        | Some c -> [ c ]
        | None -> [])
   in
-  List.mem c (closure pt seeds)
+  List.mem c (closure q seeds)

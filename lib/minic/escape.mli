@@ -1,19 +1,23 @@
-(** Escape analysis over the points-to classes: reachability from a
+(** Escape analysis over points-to classes: reachability from a
     function's formals, its return value, and the globals — the paper's
     "standard compiler analysis … much simpler, but can be less precise,
     than that required for static detection of dangling pointer
     references".  A pool can be created and destroyed inside a function
-    exactly when its class does not escape that function. *)
+    exactly when its class does not escape that function.
 
-val reachable_from_globals : Points_to.t -> Ast.program -> Points_to.class_id list
+    Written against {!Pt_query}, so it runs over either the Steensgaard
+    partition ({!Points_to.query}) or the field-sensitive DSA one
+    ({!Dsa.query}). *)
+
+val reachable_from_globals : Pt_query.t -> Ast.program -> Pt_query.class_id list
 (** Classes reachable from any global variable: these data structures
     must live in global (long-lived) pools. *)
 
-val escapes : Points_to.t -> Ast.func -> Points_to.class_id -> bool
+val escapes : Pt_query.t -> Ast.func -> Pt_query.class_id -> bool
 (** Whether the class is reachable from the function's parameters or
     return value (globals are handled separately by
     {!reachable_from_globals}). *)
 
-val closure : Points_to.t -> Points_to.class_id list -> Points_to.class_id list
-(** Transitive closure of classes over pointee and field edges,
-    including the seeds. *)
+val closure : Pt_query.t -> Pt_query.class_id list -> Pt_query.class_id list
+(** Transitive closure of classes over all outgoing edges (pointee and
+    fields), including the seeds. *)

@@ -286,48 +286,33 @@ let analyze (program : Ast.program) =
   Hashtbl.iter (fun f n -> Hashtbl.replace ret_classes f (class_of n)) b.rets;
   let pointees = Hashtbl.create 64 in
   let fields = Hashtbl.create 64 in
-  let record_edges _ n =
+  (* Chase edges from every root, recording each visited node's edges
+     exactly once.  (A previous version only recorded edges of root
+     nodes, so a field node's pointee went missing and frees through
+     field reads — free(s->a) — came back unclassified.) *)
+  let visited = Hashtbl.create 64 in
+  let rec visit n =
     let root = find n in
-    let c = class_of root in
-    (match root.pointee with
-     | Some p -> Hashtbl.replace pointees c (class_of p)
-     | None -> ());
-    match root.field with
-    | Some f -> Hashtbl.replace fields c (class_of f)
-    | None -> ()
-  in
-  Hashtbl.iter record_edges b.vars;
-  Hashtbl.iter record_edges b.rets;
-  Hashtbl.iter (fun _ n -> record_edges "" n) b.site_nodes;
-  (* Pointee/field targets may themselves have edges; walk to fixpoint by
-     scanning all root nodes we have numbered, chasing their edges. *)
-  let rec close pending =
-    match pending with
-    | [] -> ()
-    | n :: rest ->
-      let root = find n in
+    if not (Hashtbl.mem visited root.id) then begin
+      Hashtbl.replace visited root.id ();
       let c = class_of root in
-      let next = ref rest in
       (match root.pointee with
-       | Some p when not (Hashtbl.mem pointees c) ->
-         Hashtbl.replace pointees c (class_of p);
-         next := p :: !next
-       | Some p -> if not (Hashtbl.mem class_of_node (find p).id) then next := p :: !next
+       | Some p ->
+         if not (Hashtbl.mem pointees c) then
+           Hashtbl.replace pointees c (class_of p);
+         visit p
        | None -> ());
-      (match root.field with
-       | Some f when not (Hashtbl.mem fields c) ->
-         Hashtbl.replace fields c (class_of f);
-         next := f :: !next
-       | Some f -> if not (Hashtbl.mem class_of_node (find f).id) then next := f :: !next
-       | None -> ());
-      close !next
+      match root.field with
+      | Some f ->
+        if not (Hashtbl.mem fields c) then
+          Hashtbl.replace fields c (class_of f);
+        visit f
+      | None -> ()
+    end
   in
-  let all_roots =
-    Hashtbl.fold (fun _ n acc -> n :: acc) b.vars []
-    @ Hashtbl.fold (fun _ n acc -> n :: acc) b.rets []
-    @ Hashtbl.fold (fun _ n acc -> n :: acc) b.site_nodes []
-  in
-  close all_roots;
+  Hashtbl.iter (fun _ n -> visit n) b.vars;
+  Hashtbl.iter (fun _ n -> visit n) b.rets;
+  Hashtbl.iter (fun _ n -> visit n) b.site_nodes;
   {
     class_of_node;
     site_classes;
@@ -373,3 +358,22 @@ and expr_pointee_class t ~fname = function
     (* Handled positionally by the transform (it knows the site). *)
     None
   | e -> Option.bind (expr_value_class t ~fname e) (pointee t)
+
+let query t =
+  {
+    Pt_query.nclasses = class_count t;
+    heap = heap_classes t;
+    site_class = site_class t;
+    var_class = (fun ~fname x -> var_class t ~fname x);
+    ret_class = ret_class t;
+    pointee = pointee t;
+    succ =
+      (fun c ->
+        (match pointee t c with Some p -> [ p ] | None -> [])
+        @ (match field_class t c with Some f -> [ f ] | None -> []));
+    struct_hint = struct_hint t;
+    struct_names =
+      (fun c -> match struct_hint t c with Some s -> [ s ] | None -> []);
+    expr_value_class = (fun ~fname e -> expr_value_class t ~fname e);
+    expr_pointee_class = (fun ~fname e -> expr_pointee_class t ~fname e);
+  }

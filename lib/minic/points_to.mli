@@ -57,3 +57,8 @@ val expr_value_class : t -> fname:string -> Ast.expr -> class_id option
 val expr_pointee_class : t -> fname:string -> Ast.expr -> class_id option
 (** Class of the {e object} an expression points to:
     [pointee (expr_value_class e)]. *)
+
+val query : t -> Pt_query.t
+(** The frozen result behind the analysis-agnostic query interface
+    consumers are written against (see {!Dsa.query} for the
+    field-sensitive counterpart). *)

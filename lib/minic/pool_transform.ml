@@ -85,7 +85,7 @@ let reach_table (program : Ast.program) =
 
 (* Which functions touch each heap class: malloc sites, frees, and any
    field access (the last so that pooldestroy postdominates all uses). *)
-let users_of_classes pt (program : Ast.program) =
+let users_of_classes (q : Pt_query.t) (program : Ast.program) =
   let users : (Points_to.class_id, S.t ref) Hashtbl.t = Hashtbl.create 16 in
   let add c fname =
     let cell =
@@ -99,9 +99,9 @@ let users_of_classes pt (program : Ast.program) =
     cell := S.add fname !cell
   in
   Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name:_ ~pos:_ ->
-      add (Points_to.site_class pt site) fname);
+      add (q.Pt_query.site_class site) fname);
   let note_field fname base =
-    match Points_to.expr_pointee_class pt ~fname base with
+    match q.Pt_query.expr_pointee_class ~fname base with
     | Some c -> add c fname
     | None -> ()
   in
@@ -116,7 +116,7 @@ let users_of_classes pt (program : Ast.program) =
       expr fname a
     | Ast.Index (base, idx, _) ->
       (* Element access keeps the object class in use. *)
-      (match Points_to.expr_pointee_class pt ~fname base with
+      (match q.Pt_query.expr_pointee_class ~fname base with
        | Some c -> add c fname
        | None -> ());
       expr fname base;
@@ -134,7 +134,7 @@ let users_of_classes pt (program : Ast.program) =
     | Ast.Return (Some e) ->
       expr fname e
     | Ast.Free (e, _) | Ast.Pool_free (_, e, _) ->
-      (match Points_to.expr_pointee_class pt ~fname e with
+      (match q.Pt_query.expr_pointee_class ~fname e with
        | Some c -> add c fname
        | None -> ());
       expr fname e
@@ -163,10 +163,10 @@ let users_of_classes pt (program : Ast.program) =
 
 (* ---- owner selection --------------------------------------------------- *)
 
-let choose_owners pt program =
+let choose_owners (q : Pt_query.t) program =
   let reach = reach_table program in
-  let users = users_of_classes pt program in
-  let global_set = C.of_list (Escape.reachable_from_globals pt program) in
+  let users = users_of_classes q program in
+  let global_set = C.of_list (Escape.reachable_from_globals q program) in
   let main_name =
     match Ast.find_func program "main" with
     | Some f -> f.Ast.name
@@ -181,7 +181,7 @@ let choose_owners pt program =
         let candidates =
           List.filter
             (fun (f : Ast.func) ->
-              (not (Escape.escapes pt f c)) && S.subset us (reach f.Ast.name))
+              (not (Escape.escapes q f c)) && S.subset us (reach f.Ast.name))
             program.Ast.funcs
         in
         match candidates with
@@ -205,13 +205,13 @@ let choose_owners pt program =
            | Some (owner, _) -> (c, owner, false)
            | None -> global_owner ())
       end)
-    (Points_to.heap_classes pt)
+    q.Pt_query.heap
 
 (* ---- descriptor flow --------------------------------------------------- *)
 
 (* needed f c: f allocates/frees from c, or calls someone who needs the
    descriptor and is not its owner. *)
-let compute_needed pt (program : Ast.program) owners =
+let compute_needed (q : Pt_query.t) (program : Ast.program) owners =
   let owner_of c =
     let rec find = function
       | [] -> fail "class %d has no owner" c
@@ -222,7 +222,7 @@ let compute_needed pt (program : Ast.program) owners =
   (* Only classes that actually contain malloc sites have pools; a [free]
      whose pointer class never received an allocation (dead code, or a
      pointer provably always null) stays a plain free. *)
-  let pool_classes = C.of_list (Points_to.heap_classes pt) in
+  let pool_classes = C.of_list q.Pt_query.heap in
   let direct = Hashtbl.create 16 in
   let add fname c =
     if C.mem c pool_classes then begin
@@ -235,10 +235,10 @@ let compute_needed pt (program : Ast.program) owners =
     end
   in
   Points_to.iter_malloc_sites program (fun ~site ~fname ~struct_name:_ ~pos:_ ->
-      add fname (Points_to.site_class pt site));
+      add fname (q.Pt_query.site_class site));
   let rec frees fname = function
     | Ast.Free (e, _) | Ast.Pool_free (_, e, _) ->
-      (match Points_to.expr_pointee_class pt ~fname e with
+      (match q.Pt_query.expr_pointee_class ~fname e with
        | Some c -> add fname c
        | None -> ())
     | Ast.If (_, t, f) ->
@@ -287,12 +287,10 @@ let compute_needed pt (program : Ast.program) owners =
 
 (* ---- rewriting --------------------------------------------------------- *)
 
-let transform (program : Ast.program) =
-  Typecheck.check program;
-  let pt = Points_to.analyze program in
-  let pool_classes = C.of_list (Points_to.heap_classes pt) in
-  let owners = choose_owners pt program in
-  let needed = compute_needed pt program owners in
+let transform_with (q : Pt_query.t) (program : Ast.program) =
+  let pool_classes = C.of_list q.Pt_query.heap in
+  let owners = choose_owners q program in
+  let needed = compute_needed q program owners in
   let owner_of c =
     List.filter_map (fun (c', o, _) -> if c = c' then Some o else None) owners
     |> function
@@ -329,12 +327,12 @@ let transform (program : Ast.program) =
       incr site_counter;
       incr sites_rewritten;
       Ast.Pool_malloc_array
-        (pool_var_name (Points_to.site_class pt site), s, count, p)
+        (pool_var_name (q.Pt_query.site_class site), s, count, p)
     | Ast.Malloc (s, p) | Ast.Pool_malloc (_, s, p) ->
       let site = !site_counter in
       incr site_counter;
       incr sites_rewritten;
-      Ast.Pool_malloc (pool_var_name (Points_to.site_class pt site), s, p)
+      Ast.Pool_malloc (pool_var_name (q.Pt_query.site_class site), s, p)
     | Ast.Call (g, args) ->
       let args = List.map (rewrite_expr fname) args in
       let extra = List.map (fun pv -> Ast.Var pv) (pool_params_of g) in
@@ -351,7 +349,7 @@ let transform (program : Ast.program) =
       [ Ast.Store (base, f, e, p) ]
     | Ast.Free (e, p) | Ast.Pool_free (_, e, p) ->
       let e = rewrite_expr fname e in
-      (match Points_to.expr_pointee_class pt ~fname e with
+      (match q.Pt_query.expr_pointee_class ~fname e with
        | Some c when C.mem c pool_classes ->
          incr frees_rewritten;
          [ Ast.Pool_free (pool_var_name c, e, p) ]
@@ -393,7 +391,7 @@ let transform (program : Ast.program) =
           List.map
             (fun c ->
               let hint =
-                match Points_to.struct_hint pt c with
+                match q.Pt_query.struct_hint c with
                 | Some s -> s
                 | None -> ""
               in
@@ -418,7 +416,7 @@ let transform (program : Ast.program) =
           class_id = c;
           pool_var = pool_var_name c;
           owner;
-          struct_name = Points_to.struct_hint pt c;
+          struct_name = q.Pt_query.struct_hint c;
           global;
         })
       owners
@@ -429,3 +427,11 @@ let transform (program : Ast.program) =
       sites_rewritten = !sites_rewritten;
       frees_rewritten = !frees_rewritten;
     } )
+
+let transform (program : Ast.program) =
+  Typecheck.check program;
+  transform_with (Points_to.query (Points_to.analyze program)) program
+
+let plan = choose_owners
+
+let callee_names f = S.elements (callees f)

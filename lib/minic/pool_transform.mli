@@ -30,6 +30,26 @@ exception Transform_error of string
 val transform : Ast.program -> Ast.program * summary
 (** The input must typecheck and contain a [main] function.  The output
     program typechecks and has the same observable behaviour, with every
-    allocation routed through a pool. *)
+    allocation routed through a pool.  Uses the Steensgaard partition
+    ({!Points_to}); see {!transform_with} / [Minic.Poolify] for the
+    field-sensitive DSA-driven variant. *)
+
+val transform_with : Pt_query.t -> Ast.program -> Ast.program * summary
+(** {!transform} over an explicit points-to partition.  The caller is
+    responsible for typechecking the program first and for passing a
+    partition computed {e on this exact program} (the positional site
+    numbering must agree). *)
+
+val plan :
+  Pt_query.t -> Ast.program -> (Points_to.class_id * string * bool) list
+(** Owner selection only: for every heap class, [(class, owner
+    function, global?)] — [global] meaning the class is reachable from
+    globals (or has no bounded owner) and must live in a [main]-owned,
+    effectively undestroyable pool.  Requires a [main] function. *)
+
+val callee_names : Ast.func -> string list
+(** Direct callees of a function, sorted — the call graph edge list
+    used for owner placement (exported for [Minic.Poolify]'s
+    escape-depth metric). *)
 
 val pool_var_name : Points_to.class_id -> string

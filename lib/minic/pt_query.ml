@@ -1,0 +1,34 @@
+(** A points-to analysis behind a uniform query interface.
+
+    Both {!Points_to} (Steensgaard, field-collapsed) and {!Dsa}
+    (DSA-lite, field-sensitive) freeze into this record, so every
+    consumer — {!Dangling}, {!Escape}, {!Pool_transform}, {!Poolify} —
+    is written once against the queries and can run over either
+    partition.  Class ids are dense in [0, nclasses).
+
+    The [site_class] numbering is positional: the [n]-th malloc site in
+    the {!Points_to.iter_malloc_sites} program order. *)
+
+type class_id = int
+
+type t = {
+  nclasses : int;
+  heap : class_id list;
+      (** classes containing at least one malloc site, sorted *)
+  site_class : int -> class_id;
+  var_class : fname:string -> string -> class_id option;
+      (** locals/params of [fname], falling back to globals *)
+  ret_class : string -> class_id option;
+  pointee : class_id -> class_id option;
+      (** class an element of this class points to *)
+  succ : class_id -> class_id list;
+      (** all outgoing edges (pointee + every field target), for
+          reachability closures; deterministic order *)
+  struct_hint : class_id -> string option;
+      (** one struct name allocated into the class (poolinit hints) *)
+  struct_names : class_id -> string list;
+      (** every struct name allocated into the class, sorted — the
+          type-homogeneity check reads this *)
+  expr_value_class : fname:string -> Ast.expr -> class_id option;
+  expr_pointee_class : fname:string -> Ast.expr -> class_id option;
+}

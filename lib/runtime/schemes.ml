@@ -43,6 +43,14 @@ type epoch_stats = {
   slab_misses : int;
 }
 
+type inferred_stats = {
+  inferred_pools_created : int;
+  inferred_pools_destroyed : int;
+  live_shadow_pages : int;
+  peak_shadow_pages : int;
+  destroy_unmapped_pages : int;
+}
+
 type info =
   | Opaque
   | Shadow_pool of {
@@ -59,6 +67,10 @@ type info =
       recycler : Apa.Page_recycler.t;
       epoch : unit -> epoch_stats;
       drain : unit -> unit;
+    }
+  | Shadow_pool_inferred of {
+      global : Shadow.Shadow_pool.t;
+      inferred : unit -> inferred_stats;
     }
   | Recoverable of {
       base : Scheme.t;
@@ -423,6 +435,86 @@ let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
     extra_memory_bytes = (fun () -> 0);
     guarantees_detection = true;
     introspection = Info (Shadow_pool_static { global; recycler; elision });
+  }
+
+(* Shadow-pool for statically inferred pool scopes (Minic.Poolify):
+   every pool_create is one inferred pool, and its pool_destroy —
+   placed by the analysis at the tightest non-escaping scope — releases
+   the pool's entire VA footprint back to the OS.  No page recycler on
+   purpose: recycling keeps ranges mapped for reuse, which is the right
+   trade for the steady-state schemes but hides exactly the signal this
+   scheme exists to show, that inferred scoped pools bound peak shadow
+   VA (destroy issues real coalesced munmaps, counted in the stats).
+   Detection is byte-for-byte [shadow_pool]'s: same registry, same
+   guarded accesses, same per-object shadow protection. *)
+let shadow_pool_inferred machine =
+  let registry = Shadow.Object_registry.create () in
+  let make_pool ?elem_size () =
+    Shadow.Shadow_pool.create ?elem_size ~unmap:(retrying_unmap machine)
+      ~registry machine
+  in
+  let pools = ref [] in
+  let created = ref 0 in
+  let destroyed = ref 0 in
+  let unmapped = ref 0 in
+  let peak = ref 0 in
+  let live () =
+    List.fold_left
+      (fun acc p ->
+        if Shadow.Shadow_pool.is_destroyed p then acc
+        else acc + Shadow.Shadow_pool.shadow_pages_live p)
+      0 !pools
+  in
+  let bump () =
+    let l = live () in
+    if l > !peak then peak := l
+  in
+  let wrap_pool pool =
+    {
+      Scheme.pool_alloc =
+        (fun ?site size ->
+          let a = Shadow.Shadow_pool.alloc pool ?site size in
+          bump ();
+          a);
+      pool_free = (fun ?site a -> Shadow.Shadow_pool.free pool ?site a);
+      pool_destroy =
+        (fun () ->
+          if not (Shadow.Shadow_pool.is_destroyed pool) then begin
+            unmapped := !unmapped + Shadow.Shadow_pool.shadow_pages_live pool;
+            incr destroyed;
+            Shadow.Shadow_pool.destroy pool
+          end);
+    }
+  in
+  let global = make_pool () in
+  pools := [ global ];
+  let global_handle = wrap_pool global in
+  let inferred () =
+    {
+      inferred_pools_created = !created;
+      inferred_pools_destroyed = !destroyed;
+      live_shadow_pages = live ();
+      peak_shadow_pages = !peak;
+      destroy_unmapped_pages = !unmapped;
+    }
+  in
+  {
+    Scheme.name = "shadow-pool+inferred";
+    machine;
+    malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+    free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+    load = guarded_load machine registry;
+    store = guarded_store machine registry;
+    pool_create =
+      (fun ?elem_size () ->
+        incr created;
+        let p = make_pool ?elem_size () in
+        pools := p :: !pools;
+        wrap_pool p);
+    compute = compute_direct machine;
+    extra_memory_bytes = (fun () -> 0);
+    guarantees_detection = true;
+    introspection = Info (Shadow_pool_inferred { global; inferred });
   }
 
 (* Epoch-batched shadow-pool: frees are quarantined per pool and

@@ -54,6 +54,14 @@ type epoch_stats = {
   slab_misses : int;    (** allocations that had to issue a slab call *)
 }
 
+type inferred_stats = {
+  inferred_pools_created : int;   (** pools made by [pool_create] *)
+  inferred_pools_destroyed : int; (** pools torn down (incl. global) *)
+  live_shadow_pages : int;        (** shadow pages held right now *)
+  peak_shadow_pages : int;        (** high-water mark of the above *)
+  destroy_unmapped_pages : int;   (** shadow pages munmapped by destroys *)
+}
+
 (** What {!introspect} reveals about a scheme's internals. *)
 type info =
   | Opaque  (** nothing beyond the {!Scheme.t} record's own fields *)
@@ -78,6 +86,11 @@ type info =
           (** force-retire every open epoch — a measurement boundary
               (bench sections) or orderly shutdown, not part of the
               steady-state protocol *)
+    }
+  | Shadow_pool_inferred of {
+      global : Shadow.Shadow_pool.t;
+      inferred : unit -> inferred_stats;
+          (** pool lifecycle and shadow-VA counts so far *)
     }
   | Recoverable of {
       base : Scheme.t;
@@ -105,6 +118,16 @@ val shadow_pool_static :
     including any the policy does not recognise, keep the full scheme,
     so detection at May/Must sites is exactly as in {!shadow_pool}.
     Elision counts are available via {!introspect}. *)
+
+val shadow_pool_inferred : Vmm.Machine.t -> Scheme.t
+(** {!shadow_pool} for statically inferred pool scopes ([Minic.Poolify]):
+    each [pool_create] is one inferred pool and its [pool_destroy] —
+    placed by the analysis at the tightest scope the class does not
+    escape — returns the pool's whole VA footprint to the OS with real
+    coalesced [munmap]s (no page recycler), so peak shadow VA tracks
+    the inferred lifetimes instead of growing monotonically.  Detection
+    is exactly {!shadow_pool}'s.  Lifecycle and page counts are
+    available via {!introspect}. *)
 
 val shadow_pool_epoch :
   ?max_frees:int ->

@@ -189,20 +189,36 @@ let elided_live_blocks t = Hashtbl.length t.elided_live
 
 let size_of t user = Shadow_heap.size_of t.heap user
 
-let release_range t base pages =
-  Object_registry.forget_range t.registry ~base ~pages;
-  match t.recycler with
-  | Some r -> Apa.Page_recycler.put r ~base ~pages
-  | None -> Kernel.munmap t.machine ~addr:base ~pages
-
 let destroy t =
   check_usable t "destroy";
   t.destroyed <- true;
   (* Flush before the pool recycles canonical VA: recycled pages get
      fresh physical backing, which would invalidate cached aliases. *)
   (match t.slab with Some s -> ignore (Slab.flush s) | None -> ());
-  Hashtbl.iter (fun base (pages, _state) -> release_range t base pages)
-    t.shadow_ranges;
+  (* Batched teardown, same shape as [reclaim_ranges]: fuse every
+     shadow range and pay one recycler insertion or one [unmap] per
+     merged run instead of one syscall per object range.  Destruction
+     is terminal, so an unmap failure only leaks the run's pages (kept
+     mapped, never reused — the registry entries are dropped either
+     way). *)
+  let ranges =
+    Hashtbl.fold
+      (fun base (pages, _state) acc -> (base, pages) :: acc)
+      t.shadow_ranges []
+    |> List.sort compare
+  in
+  (match t.recycler with
+   | Some r ->
+     List.iter
+       (fun (base, pages) -> Apa.Page_recycler.put r ~base ~pages)
+       (Syscalls.coalesce_ranges ranges)
+   | None ->
+     List.iter
+       (fun (base, pages) -> ignore (t.unmap ~addr:base ~pages))
+       (Syscalls.coalesce_ranges ranges));
+  List.iter
+    (fun (base, pages) -> Object_registry.forget_range t.registry ~base ~pages)
+    ranges;
   Hashtbl.reset t.shadow_ranges;
   Hashtbl.reset t.elided_live;
   Apa.Pool.destroy t.pool

@@ -292,6 +292,24 @@ let test_verdict_figure1 () =
   check_bool "the list class is not elidable" true
     (List.exists (( <> ) Minic.Dangling.Safe) (site_verdicts r))
 
+(* Field sensitivity: freeing the object behind s->a must not poison
+   the read through s->b.  The collapsed-field Steensgaard engine
+   merges the two fields and reports a spurious May; the default DSA
+   engine keeps them separate and everything is Safe — the regression
+   fixture for the field-insensitivity false positive. *)
+let test_verdict_field_disjoint () =
+  let src = sample_file "examples/lint" "field_disjoint.mc" in
+  let dsa = Minic.Dangling.analyze ~engine:`Dsa (parse src) in
+  let _, may, must = counts dsa in
+  check_int "dsa: no may" 0 may;
+  check_int "dsa: no must" 0 must;
+  check_bool "dsa: all sites elidable" true
+    (List.for_all (( = ) Minic.Dangling.Safe) (site_verdicts dsa));
+  let steens = Minic.Dangling.analyze ~engine:`Steensgaard (parse src) in
+  let _, smay, smust = counts steens in
+  check_bool "steensgaard: collapsed fields raise a spurious may" true
+    (smay + smust >= 1)
+
 (* ---- satellite 6: typed layout errors ---- *)
 
 let test_layout_errors_typed () =
@@ -328,6 +346,7 @@ let test_roundtrip_examples () =
       ("examples/lint", "may_alias.mc");
       ("examples/lint", "double_free.mc");
       ("examples/lint", "deep_free.mc");
+      ("examples/lint", "field_disjoint.mc");
     ]
 
 (* ---- golden files for `danguard lint --json` ---- *)
@@ -345,7 +364,23 @@ let test_lint_goldens () =
       check_string (name ^ " golden json")
         expected
         (Telemetry.Json.to_string_pretty (Minic.Diagnostics.to_json d) ^ "\n"))
-    [ "safe"; "must_uaf"; "may_alias"; "double_free"; "deep_free" ]
+    [
+      "safe"; "must_uaf"; "may_alias"; "double_free"; "deep_free";
+      "field_disjoint";
+    ]
+
+(* SARIF output is interchange format: its shape is a contract with
+   external consumers, so it gets its own golden. *)
+let test_lint_sarif_golden () =
+  let src = sample_file "examples/lint" "must_uaf.mc" in
+  let expected = sample_file "examples/lint" "must_uaf.expected.sarif" in
+  let d =
+    Minic.Diagnostics.make
+      ~file:(Filename.concat "examples/lint" "must_uaf.mc")
+      (Minic.Dangling.analyze (parse src))
+  in
+  check_string "must_uaf golden sarif" expected
+    (Telemetry.Json.to_string_pretty (Minic.Diagnostics.to_sarif d) ^ "\n")
 
 let test_lint_exit_codes () =
   let code name =
@@ -354,6 +389,7 @@ let test_lint_exit_codes () =
       (Minic.Diagnostics.make ~file:name (Minic.Dangling.analyze (parse src)))
   in
   check_int "safe exits 0" 0 (code "safe");
+  check_int "field disjoint exits 0" 0 (code "field_disjoint");
   check_int "may exits 0" 0 (code "may_alias");
   check_int "deep free exits 0" 0 (code "deep_free");
   check_int "must exits 3" 3 (code "must_uaf");
@@ -491,6 +527,116 @@ let gen_deep_free_program ~n ~seed ~bug =
   add "}";
   Buffer.contents b
 
+(* Cross-function escape: the callee's allocation outlives its frame by
+   escaping into a caller-owned struct, and the free happens in a second
+   callee.  Exercises the DSA store/load field edges and the owner
+   inference (the node pool must be hoisted to main, not fill). *)
+let gen_escape_program ~n ~seed ~bug =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  add "struct node { int v; struct node *next; }";
+  add "struct box { struct node *item; }";
+  add "void fill(struct box *b, int v) {";
+  add "  struct node *fresh = malloc(struct node);";
+  add "  fresh->v = v;";
+  add "  b->item = fresh;";
+  add "}";
+  add "int drain(struct box *b) {";
+  add "  int v = b->item->v;";
+  add "  free(b->item);";
+  add "  return v;";
+  add "}";
+  add "void main() {";
+  add "  struct box *holder = malloc(struct box);";
+  add "  int acc = 0;";
+  add "  int i = 0;";
+  add "  while (i < %d) {" n;
+  add "    fill(holder, %d + i);" seed;
+  add "    acc = acc + drain(holder);";
+  add "    i = i + 1;";
+  add "  }";
+  add "  print(acc);";
+  if bug = Use_after_release then add "  print(holder->item->v);";
+  add "  free(holder);";
+  victim_tail b bug;
+  add "}";
+  Buffer.contents b
+
+(* Conditional frees: every free sits under a branch, so the analysis
+   can never prove Must at the free itself and the joins produce May
+   states.  The [Use_after_release] variant reads after a conditional
+   free whose guard is dynamically always true. *)
+let gen_cond_free_program ~iters ~seed ~bug =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  add "struct node { int v; struct node *next; }";
+  add "void main() {";
+  add "  int acc = 0;";
+  add "  int i = 0;";
+  add "  while (i < %d) {" iters;
+  add "    struct node *tmp = malloc(struct node);";
+  add "    tmp->v = i + %d;" seed;
+  add "    if (tmp->v %% 2 == 0) {";
+  add "      free(tmp);";
+  add "    } else {";
+  add "      acc = acc + tmp->v;";
+  add "      free(tmp);";
+  add "    }";
+  add "    i = i + 1;";
+  add "  }";
+  add "  struct node *keep = malloc(struct node);";
+  add "  keep->v = %d;" seed;
+  add "  if (keep->v < 1000) {";
+  add "    free(keep);";
+  add "  }";
+  if bug = Use_after_release then add "  print(keep->v);";
+  add "  print(acc);";
+  victim_tail b bug;
+  add "}";
+  Buffer.contents b
+
+(* Recursive structure: a binary tree built, summed and released by
+   recursive functions.  The self-recursive calls cycle the callee
+   graph, so owner-depth inference and transitive may-free summaries
+   both have to converge on a cycle. *)
+let gen_tree_program ~depth ~seed ~bug =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  add "struct node { int v; struct node *next; }";
+  add "struct tree { int v; struct tree *left; struct tree *right; }";
+  add "struct tree *build(int depth, int seed) {";
+  add "  if (depth < 1) {";
+  add "    return null;";
+  add "  }";
+  add "  struct tree *t = malloc(struct tree);";
+  add "  t->v = seed + depth;";
+  add "  t->left = build(depth - 1, seed);";
+  add "  t->right = build(depth - 1, seed + depth);";
+  add "  return t;";
+  add "}";
+  add "int total(struct tree *t) {";
+  add "  if (t == null) {";
+  add "    return 0;";
+  add "  }";
+  add "  return t->v + total(t->left) + total(t->right);";
+  add "}";
+  add "void release(struct tree *t) {";
+  add "  if (t == null) {";
+  add "    return;";
+  add "  }";
+  add "  release(t->left);";
+  add "  release(t->right);";
+  add "  free(t);";
+  add "}";
+  add "void main() {";
+  add "  struct tree *t0 = build(%d, %d);" depth seed;
+  add "  print(total(t0));";
+  add "  release(t0);";
+  if bug = Use_after_release then add "  print(total(t0));";
+  victim_tail b bug;
+  add "}";
+  Buffer.contents b
+
 let run_with_hook program scheme =
   let violations = ref [] in
   let hook ~fname ~pos (_ : Shadow.Report.t) =
@@ -556,10 +702,28 @@ let oracle_one ~ctx ~expect_elision source bug =
   in
   let out_static, viol_static = run_with_hook transformed static_scheme in
   check_violations_covered ~ctx:(ctx ^ "/static") r viol_static;
+  (* inferred-pool scheme over the DSA-driven transform: each inferred
+     pool is a separate shadow pool whose destroy bulk-unmaps its VA, so
+     a violation in a correct program here would mean an access after an
+     inferred pool_destroy — the pool-lifetime soundness contract *)
+  let inferred_transformed, _ = Minic.Poolify.transform program in
+  let out_inferred, viol_inferred =
+    run_with_hook inferred_transformed
+      (Runtime.Schemes.shadow_pool_inferred (Vmm.Machine.create ()))
+  in
+  check_violations_covered ~ctx:(ctx ^ "/inferred") r viol_inferred;
   (match bug with
    | No_bug ->
      if viol_full <> [] || viol_static <> [] then
        Alcotest.failf "%s: correct program raised a violation" ctx;
+     if viol_inferred <> [] then
+       Alcotest.failf
+         "%s: correct program violated under inferred pools (access after \
+          inferred pool destroy)"
+         ctx;
+     (match out_inferred with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: correct program failed under inferred pools" ctx);
      let out_native, _ =
        run_with_hook transformed
          (Runtime.Schemes.native (Vmm.Machine.create ()))
@@ -573,12 +737,20 @@ let oracle_one ~ctx ~expect_elision source bug =
       | Some a, Some b ->
         check_bool (ctx ^ ": native/epoch outputs equal") true
           (a.Minic.Interp.prints = b.Minic.Interp.prints)
-      | _ -> Alcotest.failf "%s: correct program failed under epoch" ctx)
+      | _ -> Alcotest.failf "%s: correct program failed under epoch" ctx);
+     (match (out_native, out_inferred) with
+      | Some a, Some b ->
+        check_bool (ctx ^ ": native/inferred outputs equal") true
+          (a.Minic.Interp.prints = b.Minic.Interp.prints)
+      | _ ->
+        Alcotest.failf "%s: correct program failed under inferred pools" ctx)
    | Use_after_release | Must_uaf_bug | Double_free_bug ->
      if viol_full = [] then
        Alcotest.failf "%s: seeded bug not detected under full scheme" ctx;
      if viol_static = [] then
-       Alcotest.failf "%s: seeded bug not detected under static elision" ctx);
+       Alcotest.failf "%s: seeded bug not detected under static elision" ctx;
+     if viol_inferred = [] then
+       Alcotest.failf "%s: seeded bug not detected under inferred pools" ctx);
   (match bug with
    | Must_uaf_bug | Double_free_bug ->
      check_bool (ctx ^ ": lint reports the seeded must bug") true
@@ -634,7 +806,48 @@ let test_oracle () =
           bug)
       [ No_bug; Must_uaf_bug; Double_free_bug ]
   done;
-  check_bool "oracle covers at least 200 programs" true (!cases >= 200)
+  for seed = 0 to 9 do
+    List.iter
+      (fun bug ->
+        let n = 1 + (seed mod 4) in
+        let ctx =
+          Printf.sprintf "escape n=%d seed=%d bug=%s" n seed (bug_label bug)
+        in
+        incr cases;
+        oracle_one ~ctx ~expect_elision:false
+          (gen_escape_program ~n ~seed ~bug)
+          bug)
+      [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
+  done;
+  for seed = 0 to 9 do
+    List.iter
+      (fun bug ->
+        let iters = 1 + (seed mod 6) in
+        let ctx =
+          Printf.sprintf "cond iters=%d seed=%d bug=%s" iters seed
+            (bug_label bug)
+        in
+        incr cases;
+        oracle_one ~ctx ~expect_elision:false
+          (gen_cond_free_program ~iters ~seed ~bug)
+          bug)
+      [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
+  done;
+  for seed = 0 to 7 do
+    List.iter
+      (fun bug ->
+        let depth = 1 + (seed mod 3) in
+        let ctx =
+          Printf.sprintf "tree depth=%d seed=%d bug=%s" depth seed
+            (bug_label bug)
+        in
+        incr cases;
+        oracle_one ~ctx ~expect_elision:false
+          (gen_tree_program ~depth ~seed ~bug)
+          bug)
+      [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
+  done;
+  check_bool "oracle covers at least 340 programs" true (!cases >= 340)
 
 (* Round-trip over the oracle's generated space too. *)
 let test_roundtrip_generated () =
@@ -646,9 +859,88 @@ let test_roundtrip_generated () =
         check_bool "generated scalar program round-trips" true
           (roundtrip_ok (gen_scalar_program ~iters:(1 + seed) ~seed ~bug));
         check_bool "generated deep-free program round-trips" true
-          (roundtrip_ok (gen_deep_free_program ~n:(1 + seed) ~seed ~bug)))
+          (roundtrip_ok (gen_deep_free_program ~n:(1 + seed) ~seed ~bug));
+        check_bool "generated escape program round-trips" true
+          (roundtrip_ok (gen_escape_program ~n:(1 + seed) ~seed ~bug));
+        check_bool "generated cond-free program round-trips" true
+          (roundtrip_ok (gen_cond_free_program ~iters:(1 + seed) ~seed ~bug));
+        check_bool "generated tree program round-trips" true
+          (roundtrip_ok (gen_tree_program ~depth:(1 + (seed mod 3)) ~seed ~bug)))
       [ No_bug; Use_after_release; Must_uaf_bug; Double_free_bug ]
   done
+
+(* ---- pool inference ---- *)
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+let test_poolify_risk_formula () =
+  let risk = Minic.Poolify.risk_score in
+  (* a Safe, non-escaping site alone in its pool carries zero risk *)
+  check_bool "safe lone site risk 0" true
+    (feq 0.0
+       (risk ~verdict:Minic.Dangling.Safe ~density:0.0 ~escape_depth:0
+          ~pool_sites:1));
+  (* Must at full density, one escape level, two-site pool:
+     0.55*1*(0.5+0.5) + 0.30*(1/2) + 0.15*(1/2) *)
+  check_bool "must risk 0.775" true
+    (feq 0.775
+       (risk ~verdict:Minic.Dangling.Must_uaf ~density:1.0 ~escape_depth:1
+          ~pool_sites:2));
+  (* May with no flagged density, no escape, lone site: 0.55*0.5*0.5 *)
+  check_bool "may risk 0.1375" true
+    (feq 0.1375
+       (risk ~verdict:Minic.Dangling.May_uaf ~density:0.0 ~escape_depth:0
+          ~pool_sites:1));
+  (* risk is monotone in escape depth and bounded by 1 *)
+  let r d =
+    risk ~verdict:Minic.Dangling.Must_uaf ~density:1.0 ~escape_depth:d
+      ~pool_sites:100
+  in
+  check_bool "risk monotone in escape depth" true (r 4 > r 1);
+  check_bool "risk bounded by 1" true (r 1000 <= 1.0)
+
+let test_poolify_deterministic () =
+  let src = sample_file "examples/programs" "figure1.mc" in
+  let dump () =
+    Telemetry.Json.to_string_pretty
+      (Minic.Poolify.to_json ~file:"figure1.mc"
+         (Minic.Poolify.analyze (parse src)))
+  in
+  check_string "pool map byte-identical across runs" (dump ()) (dump ());
+  let r = Minic.Poolify.analyze (parse src) in
+  check_bool "pools sorted by id" true
+    (List.sort compare (List.map (fun (p : Minic.Poolify.pool) -> p.id) r.pools)
+     = List.map (fun (p : Minic.Poolify.pool) -> p.id) r.pools);
+  check_bool "sites sorted by ordinal" true
+    (List.sort compare
+       (List.map (fun (s : Minic.Poolify.site_score) -> s.ordinal) r.sites)
+     = List.map (fun (s : Minic.Poolify.site_score) -> s.ordinal) r.sites)
+
+(* The escape generator's node class is allocated in [fill] but escapes
+   into a main-owned box, so its pool must be hoisted to main and its
+   site must carry positive escape pressure. *)
+let test_poolify_escape_owner () =
+  let program = parse (gen_escape_program ~n:3 ~seed:1 ~bug:No_bug) in
+  let r = Minic.Poolify.analyze program in
+  let node_site =
+    List.find
+      (fun (s : Minic.Poolify.site_score) -> s.struct_name = "node")
+      r.sites
+  in
+  let node_pool =
+    List.find
+      (fun (p : Minic.Poolify.pool) -> p.id = node_site.pool_id)
+      r.pools
+  in
+  check_string "escaping node pool owned by main" "main" node_pool.owner;
+  check_bool "escaping site has positive escape depth" true
+    (node_site.escape_depth > 0);
+  List.iter
+    (fun (p : Minic.Poolify.pool) ->
+      check_bool "typed MiniC pools are homogeneous" true p.homogeneous;
+      check_int "homogeneous pool has one struct type" 1
+        (List.length p.struct_names))
+    r.pools
 
 let () =
   Alcotest.run "dangling"
@@ -673,6 +965,8 @@ let () =
           Alcotest.test_case "transitive free" `Quick
             test_verdict_transitive_free;
           Alcotest.test_case "branch join may" `Quick test_verdict_branch_may;
+          Alcotest.test_case "field disjoint" `Quick
+            test_verdict_field_disjoint;
           Alcotest.test_case "figure 1" `Quick test_verdict_figure1;
           Alcotest.test_case "typed layout errors" `Quick
             test_layout_errors_typed;
@@ -687,7 +981,16 @@ let () =
       ( "lint",
         [
           Alcotest.test_case "golden json" `Quick test_lint_goldens;
+          Alcotest.test_case "golden sarif" `Quick test_lint_sarif_golden;
           Alcotest.test_case "exit codes" `Quick test_lint_exit_codes;
+        ] );
+      ( "poolify",
+        [
+          Alcotest.test_case "risk formula" `Quick test_poolify_risk_formula;
+          Alcotest.test_case "deterministic pool map" `Quick
+            test_poolify_deterministic;
+          Alcotest.test_case "escape owner and homogeneity" `Quick
+            test_poolify_escape_owner;
         ] );
       ( "oracle",
         [ Alcotest.test_case "differential soundness" `Quick test_oracle ] );

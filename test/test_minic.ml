@@ -195,6 +195,7 @@ let test_points_to_example () =
 let test_escape_example () =
   let p = Minic.Parser.parse running_example in
   let pt = Minic.Points_to.analyze p in
+  let q = Minic.Points_to.query pt in
   let c = Minic.Points_to.site_class pt 0 in
   let func name =
     match Minic.Ast.find_func p name with
@@ -202,10 +203,10 @@ let test_escape_example () =
     | None -> Alcotest.fail ("no function " ^ name)
   in
   check_bool "escapes g (reachable from its param)" true
-    (Minic.Escape.escapes pt (func "g") c);
-  check_bool "does not escape f" false (Minic.Escape.escapes pt (func "f") c);
+    (Minic.Escape.escapes q (func "g") c);
+  check_bool "does not escape f" false (Minic.Escape.escapes q (func "f") c);
   check_bool "no globals -> nothing global" true
-    (Minic.Escape.reachable_from_globals pt p = [])
+    (Minic.Escape.reachable_from_globals q p = [])
 
 let test_escape_globals () =
   let src =
@@ -214,9 +215,10 @@ let test_escape_globals () =
   in
   let p = Minic.Parser.parse src in
   let pt = Minic.Points_to.analyze p in
+  let q = Minic.Points_to.query pt in
   let c = Minic.Points_to.site_class pt 0 in
   check_bool "global-reachable" true
-    (List.mem c (Minic.Escape.reachable_from_globals pt p))
+    (List.mem c (Minic.Escape.reachable_from_globals q p))
 
 (* ---- pool transform ---- *)
 
