@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke soak-smoke lint-smoke pools-smoke lint-src check clean
+.PHONY: all build test bench bench-smoke faults-smoke farm-smoke report-smoke soak-smoke tag-smoke lint-smoke pools-smoke lint-src check clean
 
 all: build
 
@@ -46,6 +46,15 @@ report-smoke:
 soak-smoke:
 	dune exec bin/danguard.exe -- soak --days 3 -c 120
 	dune exec bin/danguard.exe -- soak --days 3 -c 120 --no-reclaim
+
+# Tagged-backend smoke: the generation-table unit suite, the
+# shadow-vs-tagged differential oracle (must be byte-identical modulo
+# attributed tag-width wraparounds), and a 2-shard farm serving under
+# --scheme tagged with seeded dangling probes.
+tag-smoke:
+	dune exec test/test_tagging.exe
+	dune exec test/test_dangling.exe -- test oracle
+	dune exec bin/danguard.exe -- farm ghttpd --shards 2 -c 12 --probe-every 4 --scheme tagged
 
 # Static-analysis CLI smoke: exit codes (0 clean/may, 3 must-UAF) and
 # the machine-readable output pinned by the golden files.
@@ -100,6 +109,7 @@ check:
 	$(MAKE) farm-smoke
 	$(MAKE) report-smoke
 	$(MAKE) soak-smoke
+	$(MAKE) tag-smoke
 
 clean:
 	dune clean

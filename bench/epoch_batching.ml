@@ -111,7 +111,8 @@ let probe_in_window () =
    already PROT_NONE — the MMU path, not the backstop, must fire. *)
 let probe_at_retirement () =
   let machine = Vmm.Machine.create () in
-  let scheme = Runtime.Schemes.shadow_pool_epoch ~max_frees:4 machine in
+  let scheme = Runtime.Schemes.shadow_pool_epoch
+      ~config:{ Runtime.Schemes.default_epoch_config with max_frees = 4 } machine in
   let victims =
     List.init 4 (fun i ->
         let a =
@@ -209,7 +210,11 @@ let run ~smoke () =
       (fun max_frees ->
         let r =
           measure
-            (fun m -> Runtime.Schemes.shadow_pool_epoch ~max_frees m)
+            (fun m ->
+              Runtime.Schemes.shadow_pool_epoch
+                ~config:
+                  { Runtime.Schemes.default_epoch_config with max_frees }
+                m)
             churn ~ops
         in
         let throughput = float_of_int r.heap_ops /. (r.cycles /. 1e6) in

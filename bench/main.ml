@@ -71,7 +71,7 @@ let cost_row ~table ~workload ~scale ~cycles (stats : Vmm.Stats.snapshot) =
     [
       ("table", J.Int table);
       ("workload", J.String workload);
-      ("config", J.String (Harness.Experiment.config_label Harness.Experiment.Ours));
+      ("config", J.String (Harness.Experiment.config_label Harness.Experiment.ours));
       ("scale", J.Int scale);
       ("cycles", J.Float cycles);
       ("syscalls", J.Int (Vmm.Stats.total_syscalls stats));
@@ -81,7 +81,7 @@ let cost_row ~table ~workload ~scale ~cycles (stats : Vmm.Stats.snapshot) =
 let cost_rows ~scale_divisor () =
   let batch_row table (b : Workload.Spec.batch) =
     let scale = max 1 (b.Workload.Spec.default_scale / scale_divisor) in
-    let r = Harness.Experiment.run_batch ~scale b Harness.Experiment.Ours in
+    let r = Harness.Experiment.run_batch ~scale b Harness.Experiment.ours in
     cost_row ~table ~workload:b.Workload.Spec.name ~scale
       ~cycles:r.Harness.Experiment.cycles r.Harness.Experiment.stats
   in
@@ -90,7 +90,7 @@ let cost_rows ~scale_divisor () =
       max 2 (s.Workload.Spec.s_default_connections / scale_divisor)
     in
     let r =
-      Harness.Experiment.run_server ~connections s Harness.Experiment.Ours
+      Harness.Experiment.run_server ~connections s Harness.Experiment.ours
     in
     cost_row ~table:1 ~workload:s.Workload.Spec.s_name ~scale:connections
       ~cycles:r.Runtime.Process.total_cycles r.Runtime.Process.total_stats
@@ -199,7 +199,7 @@ let ablation_shadow_va_reuse () =
   print_endline "-- shadow-page VA reuse (bh, fresh tree pool per step) --";
   let run reuse =
     let m = Vmm.Machine.create () in
-    let scheme = Runtime.Schemes.shadow_pool ~reuse_shadow_va:reuse m in
+    let scheme = Runtime.Schemes.shadow_pool ~config:{ Runtime.Schemes.reuse_shadow_va = reuse } m in
     (match Workload.Catalog.find_batch "bh" with
      | Some b -> b.Workload.Spec.run scheme ~scale:100
      | None -> failwith "bh missing");
@@ -264,7 +264,7 @@ let ablation_syscall_cost () =
     | None -> failwith "health missing"
   in
   let base =
-    (Harness.Experiment.run_batch ~scale:20 b Harness.Experiment.Llvm_base)
+    (Harness.Experiment.run_batch ~scale:20 b Harness.Experiment.llvm_base)
       .Harness.Experiment.cycles
   in
   List.iter
@@ -302,8 +302,8 @@ let ablation_cache_behaviour () =
          /. float_of_int (max 1 accesses))
         accesses)
     [
-      Harness.Experiment.Native; Harness.Experiment.Ours;
-      Harness.Experiment.Efence;
+      Harness.Experiment.native; Harness.Experiment.ours;
+      Harness.Experiment.efence;
     ]
 
 (* 7e. Allocator-agnosticism: identical detection over two allocators. *)
@@ -434,8 +434,8 @@ let run_bechamel () =
 (* ---- JSON results file ---- *)
 
 let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
-    ~static_elision ~pool_inference ~epoch_batching ~resilience ~farm ~fleet
-    ~soak =
+    ~static_elision ~pool_inference ~epoch_batching ~tag_backend ~resilience
+    ~farm ~fleet ~soak =
   let doc =
     J.Obj
       [
@@ -454,6 +454,7 @@ let write_results ~out ~scale_divisor ~smoke ~tables ~costs ~bechamel ~fastpath
         ("static_elision", static_elision);
         ("pool_inference", pool_inference);
         ("epoch_batching", epoch_batching);
+        ("tag_backend", tag_backend);
         ("resilience", resilience);
         ("farm", farm);
         ("fleet_report", fleet);
@@ -506,6 +507,7 @@ let () =
   let static_elision = Static_elision.run () in
   let pool_inference = Pool_inference.run () in
   let epoch_batching = Epoch_batching.run ~smoke:!smoke () in
+  let tag_backend = Tag_backend.run ~smoke:!smoke () in
   let farm = Farm.run ~smoke:!smoke () in
   let fleet = Fleet_report.run ~smoke:!smoke () in
   let soak = Soak.run ~smoke:!smoke () in
@@ -524,7 +526,7 @@ let () =
         ("table3", Harness.Table3.to_json t3);
       ]
     ~costs ~bechamel ~fastpath ~static_elision ~pool_inference
-    ~epoch_batching
+    ~epoch_batching ~tag_backend
     ~resilience:(Harness.Resilience.to_json resilience)
     ~farm ~fleet ~soak;
   print_endline "\nAll sections complete."

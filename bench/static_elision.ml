@@ -258,7 +258,7 @@ let run () =
         let static_scheme machine =
           let scheme =
             Runtime.Schemes.shadow_pool_static
-              ~elide:(Minic.Dangling.elide_policy result)
+              ~config:{ Runtime.Schemes.elide = Minic.Dangling.elide_policy result }
               machine
           in
           let finish () =
@@ -321,7 +321,7 @@ let run () =
         let static_scheme machine =
           let scheme =
             Runtime.Schemes.shadow_pool_static
-              ~elide:(Minic.Dangling.elide_policy result)
+              ~config:{ Runtime.Schemes.elide = Minic.Dangling.elide_policy result }
               machine
           in
           let finish () =

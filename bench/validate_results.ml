@@ -350,6 +350,101 @@ let () =
    | J.Int 0 -> ()
    | J.Int n -> fail "epoch batching missed %d quarantine-window probes" n
    | _ -> fail "epoch_batching.missed_probes is not an int");
+  (* Tagged backend: the point of the scheme is trading shadow's VA and
+     protection syscalls for a per-access software check — so the churn
+     row must show tagged VA well under shadow's (at least 4x) with zero
+     protection syscalls per op, every seeded probe must fault in Full
+     mode, the tag_bits=2 wrap demo must record the wrap AND attribute
+     the masked pass, and the tagged farm must merge deterministically
+     across shard counts like every other backend. *)
+  let tag = member "" doc "tag_backend" in
+  let tag_rows =
+    non_empty_list "tag_backend.rows" (member "tag_backend" tag "rows")
+  in
+  let trow_int path row k =
+    match member path row k with
+    | J.Int n -> n
+    | _ -> fail "%s.%s is not an int" path k
+  in
+  let trow_num path row k =
+    match member path row k with
+    | J.Float f -> f
+    | J.Int n -> float_of_int n
+    | _ -> fail "%s.%s is not a number" path k
+  in
+  List.iter
+    (fun row ->
+      let w = erow_str row "workload" in
+      let p = "tag_backend.rows[]" in
+      let shadow_va = trow_int p row "shadow_va_pages" in
+      let tagged_va = trow_int p row "tagged_va_pages" in
+      if tagged_va * 4 > shadow_va then
+        fail "tagged VA on %s is not well under shadow's (%d vs %d pages)" w
+          tagged_va shadow_va;
+      if trow_num p row "tagged_syscalls_per_op" > 0.0 then
+        fail "tagged backend on %s issued protection syscalls" w;
+      if trow_int p row "tag_checks" <= 0 then
+        fail "tagged backend on %s recorded no tag checks" w;
+      if trow_int p row "tag_faults" <> 0 then
+        fail "tagged backend on %s faulted on a correct workload" w;
+      List.iter
+        (fun k ->
+          if trow_int p row k < 0 then fail "tag_backend.rows[].%s negative" k)
+        [ "generation_wraps"; "wrap_masked_passes"; "table_bytes" ])
+    tag_rows;
+  if not (List.exists (fun row -> erow_str row "workload" = "churn") tag_rows)
+  then fail "tag_backend has no churn row";
+  let tag_probes =
+    non_empty_list "tag_backend.probes" (member "tag_backend" tag "probes")
+  in
+  List.iter
+    (fun probe ->
+      let pname =
+        match member "tag_backend.probes[]" probe "name" with
+        | J.String s -> s
+        | _ -> "?"
+      in
+      match member "tag_backend.probes[]" probe "detected" with
+      | J.Bool true -> ()
+      | _ -> fail "tagged probe %s not detected" pname)
+    tag_probes;
+  (match member "tag_backend" tag "missed_probes" with
+   | J.Int 0 -> ()
+   | J.Int n -> fail "tagged backend missed %d seeded probes" n
+   | _ -> fail "tag_backend.missed_probes is not an int");
+  let wrap = member "tag_backend" tag "wrap" in
+  if trow_int "tag_backend.wrap" wrap "generation_wraps" <= 0 then
+    fail "wrap demo recorded no generation wrap";
+  if trow_int "tag_backend.wrap" wrap "wrap_masked_passes" <= 0 then
+    fail "wrap demo recorded no attributed masked pass";
+  (match member "tag_backend.wrap" wrap "masked_pass_observed" with
+   | J.Bool true -> ()
+   | _ -> fail "wrap demo masked pass not observed at the access site");
+  let tag_server = member "tag_backend" tag "server" in
+  let server_va k = trow_int "tag_backend.server" tag_server k in
+  if
+    server_va "tagged_max_va_bytes_per_connection"
+    > server_va "shadow_max_va_bytes_per_connection"
+  then fail "tagged server burns more VA per connection than shadow";
+  let tag_farm =
+    non_empty_list "tag_backend.farm_rows" (member "tag_backend" tag "farm_rows")
+  in
+  (match tag_farm with
+   | first :: rest ->
+     let p = "tag_backend.farm_rows[]" in
+     let d0 = trow_int p first "detections" in
+     let s0 = trow_int p first "syscalls" in
+     if d0 <= 0 then fail "tagged farm recorded no detections";
+     List.iter
+       (fun row ->
+         if trow_int p row "detections" <> d0 then
+           fail "tagged farm detections differ across shard counts (%d vs %d)"
+             (trow_int p row "detections") d0;
+         if trow_int p row "syscalls" <> s0 then
+           fail "tagged farm syscalls differ across shard counts (%d vs %d)"
+             (trow_int p row "syscalls") s0)
+       rest
+   | [] -> ());
   (* Fleet crash reports: eight runs (2 policies x 4 shard counts) in
      recoverable mode.  The determinism contract is byte-level — every
      run's canonical ranked report must be identical — and the seeded
@@ -507,9 +602,9 @@ let () =
   then fail "soak ladder's governor transition is not attributed to va-pressure";
   Printf.printf
     "validate: %s OK (%d fastpath rows, %d elision rows, %d pool-inference \
-     rows, %d epoch rows, %d resilience rows, %d farm rows, %d fleet runs, \
-     %d soak probes)\n"
+     rows, %d epoch rows, %d tag-backend rows, %d resilience rows, %d farm \
+     rows, %d fleet runs, %d soak probes)\n"
     file (List.length rows) (List.length se_rows) (List.length pi_rows)
-    (List.length epoch_rows) (List.length res_rows) (List.length farm_rows)
-    (List.length fleet_rows)
+    (List.length epoch_rows) (List.length tag_rows) (List.length res_rows)
+    (List.length farm_rows) (List.length fleet_rows)
     (soak_int "soak.with_gc" with_gc "total_probes")

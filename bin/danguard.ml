@@ -16,29 +16,36 @@ let cmd name ~doc term =
    One definition per recurring flag, so spelling, docv and defaults are
    identical across subcommands. *)
 
-let scheme_names =
-  [
-    ("native", Harness.Experiment.Native);
-    ("llvm", Harness.Experiment.Llvm_base);
-    ("pa", Harness.Experiment.Pa);
-    ("pa-dummy", Harness.Experiment.Pa_dummy);
-    ("ours", Harness.Experiment.Ours);
-    ("ours-basic", Harness.Experiment.Ours_basic);
-    ("ours-bounds", Harness.Experiment.Ours_spatial);
-    ("ours-epoch", Harness.Experiment.Ours_epoch);
-    ("efence", Harness.Experiment.Efence);
-    ("valgrind", Harness.Experiment.Valgrind);
-    ("capability", Harness.Experiment.Capability);
-  ]
+(* The scheme vocabulary is the spec catalogue — names, parsing and the
+   help listing all come from [Runtime.Scheme_spec], so the CLI can
+   never drift from the library: any catalogue name parses, and any of
+   them takes a "+recover" suffix. *)
+let scheme_conv =
+  let parse s =
+    match Runtime.Scheme_spec.of_string s with
+    | Some spec -> Ok spec
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid scheme %S, expected one of %s (each also takes a \
+               +recover suffix)"
+              s
+              (String.concat ", " (Runtime.Scheme_spec.names ()))))
+  in
+  Arg.conv (parse, fun fmt spec ->
+      Format.pp_print_string fmt (Runtime.Scheme_spec.to_string spec))
 
 let config_arg =
   let doc =
-    Printf.sprintf "Protection scheme: %s."
-      (String.concat ", " (List.map fst scheme_names))
+    Printf.sprintf
+      "Protection scheme: %s (any name also takes a $(b,+recover) suffix to \
+       log violations instead of aborting)."
+      (String.concat ", " (Runtime.Scheme_spec.names ()))
   in
   Arg.(
     value
-    & opt (enum scheme_names) Harness.Experiment.Ours
+    & opt scheme_conv Harness.Experiment.ours
     & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
 let scale_divisor_arg =
@@ -1101,7 +1108,15 @@ let help_cmd =
     print_endline "danguard subcommands:";
     List.iter
       (fun (name, doc) -> Printf.printf "  %-12s %s\n" name (summary doc))
-      !command_index
+      !command_index;
+    print_endline "";
+    print_endline "schemes (--scheme NAME):";
+    List.iter
+      (fun spec ->
+        Printf.printf "  %-14s %s\n"
+          (Runtime.Scheme_spec.to_string spec)
+          (Runtime.Scheme_spec.description spec))
+      Runtime.Scheme_spec.all
   in
   cmd "help" ~doc:"List every subcommand with a one-line summary."
     Term.(const run $ const ())

@@ -27,7 +27,7 @@ let () =
     let r = Harness.Experiment.run_batch ~scale batch config in
     (r.Harness.Experiment.cycles, r.Harness.Experiment.stats)
   in
-  let base_cycles, _ = measure Harness.Experiment.Llvm_base in
+  let base_cycles, _ = measure Harness.Experiment.llvm_base in
   List.iter
     (fun config ->
       let cycles, stats = measure config in
@@ -39,13 +39,13 @@ let () =
         (Vmm.Stats.total_syscalls stats)
         stats.Vmm.Stats.tlb_misses)
     [
-      Harness.Experiment.Native;
-      Harness.Experiment.Llvm_base;
-      Harness.Experiment.Pa;
-      Harness.Experiment.Pa_dummy;
-      Harness.Experiment.Ours;
-      Harness.Experiment.Ours_basic;
-      Harness.Experiment.Valgrind;
+      Harness.Experiment.native;
+      Harness.Experiment.llvm_base;
+      Harness.Experiment.pa;
+      Harness.Experiment.pa_dummy;
+      Harness.Experiment.ours;
+      Harness.Experiment.ours_basic;
+      Harness.Experiment.valgrind;
     ];
   print_endline
     "\nreading the decomposition (paper §4.4): the PA+dummy column isolates\n\

@@ -1,0 +1,3 @@
+let install () =
+  Runtime.Scheme_spec.set_baseline_builders ~efence:Efence.scheme
+    ~valgrind:Valgrind_sim.scheme ~capability:Capability_check.scheme

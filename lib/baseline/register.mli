@@ -1,0 +1,12 @@
+(** Injection of the baseline scheme constructors into
+    {!Runtime.Scheme_spec}.
+
+    The [baseline] library depends on [runtime], so the spec catalogue
+    cannot reference these constructors directly; anything that builds
+    schemes from specs (the harness, the CLI, tests walking
+    [Scheme_spec.all]) calls {!install} first. *)
+
+val install : unit -> unit
+(** Register Electric Fence, the Valgrind-style simulator and the
+    capability checker as [Scheme_spec]'s baseline builders.
+    Idempotent. *)

@@ -21,7 +21,7 @@ let measure ?connections (server : Workload.Spec.server) =
   let recycled = ref 0 in
   let max_va = ref 0 in
   for i = 0 to connections - 1 do
-    let scheme = Experiment.make_scheme Experiment.Ours () in
+    let scheme = Experiment.make_scheme Experiment.ours () in
     server.Workload.Spec.handler i scheme;
     (match Runtime.Schemes.introspect scheme with
      | Runtime.Schemes.Shadow_pool { global; recycler }
@@ -31,6 +31,8 @@ let measure ?connections (server : Workload.Spec.server) =
        recycled := !recycled + Apa.Page_recycler.total_recycled_pages recycler
      | Runtime.Schemes.Shadow_pool_inferred { global; _ } ->
        wasted := !wasted + Shadow.Shadow_pool.shadow_pages_live global
+     | Runtime.Schemes.Tagged { recycler; _ } ->
+       recycled := !recycled + Apa.Page_recycler.total_recycled_pages recycler
      | Runtime.Schemes.Opaque | Runtime.Schemes.Recoverable _ -> ());
     let va = Vmm.Machine.va_bytes_used scheme.Runtime.Scheme.machine in
     if va > !max_va then max_va := va

@@ -6,12 +6,12 @@ type cell = {
 
 let configs =
   [
-    Experiment.Native;
-    Experiment.Ours;
-    Experiment.Ours_basic;
-    Experiment.Efence;
-    Experiment.Valgrind;
-    Experiment.Capability;
+    Experiment.native;
+    Experiment.ours;
+    Experiment.ours_basic;
+    Experiment.efence;
+    Experiment.valgrind;
+    Experiment.capability;
   ]
 
 let run () =
@@ -30,8 +30,8 @@ let run () =
 
 let spatial_configs =
   [
-    Experiment.Native; Experiment.Ours; Experiment.Ours_spatial;
-    Experiment.Efence; Experiment.Valgrind;
+    Experiment.native; Experiment.ours; Experiment.ours_bounds;
+    Experiment.efence; Experiment.valgrind;
   ]
 
 let run_spatial () =

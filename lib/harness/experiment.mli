@@ -1,39 +1,15 @@
-(** Running a workload under a named configuration and harvesting the
-    numbers the paper's tables report.
+(** Running a workload under a scheme spec and harvesting the numbers
+    the paper's tables report.
 
-    A configuration picks both the cost-model profile (native GCC vs
-    LLVM-base code quality) and the protection scheme, mirroring the
-    columns of Tables 1 and 3:
+    A configuration is a {!Runtime.Scheme_spec.t}: it picks both the
+    cost-model profile (native GCC vs LLVM-base code quality, via
+    {!Runtime.Scheme_spec.cost_profile}) and the protection scheme (via
+    {!Runtime.Scheme_spec.build}), mirroring the columns of Tables 1
+    and 3.  {!make_scheme} installs the baseline builders
+    ([Baseline.Register.install]) so [efence]/[valgrind]/[capability]
+    specs build without further setup. *)
 
-    - [Native]: GCC -O3, plain allocator.
-    - [Llvm_base]: LLVM C back-end baseline — the denominator of Ratio 1.
-    - [Pa]: pool allocation alone (applies the workload's locality gain).
-    - [Pa_dummy]: pools + one no-op syscall per alloc and free.
-    - [Ours]: the full shadow-page + pool scheme.
-    - [Ours_basic]: shadow pages without pools (binary-only mode).
-    - [Ours_spatial]: the future-work combination — shadow pages plus
-      software bounds checks (spatial + temporal).
-    - [Ours_epoch]: the full approach with epoch-batched deferred
-      protection and slab pre-aliasing (quarantined frees, coalesced
-      mprotect) — same detection guarantee, an order of magnitude fewer
-      protection syscalls on churn.  Not part of {!all_configs}: the
-      paper's tables compare the original columns; the epoch variant is
-      measured by the dedicated [epoch_batching] bench section and the
-      farm.
-    - [Efence], [Valgrind], [Capability]: the related-work baselines. *)
-
-type config =
-  | Native
-  | Llvm_base
-  | Pa
-  | Pa_dummy
-  | Ours
-  | Ours_basic
-  | Ours_spatial
-  | Ours_epoch
-  | Efence
-  | Valgrind
-  | Capability
+type config = Runtime.Scheme_spec.t
 
 type result = {
   cycles : float;
@@ -44,7 +20,28 @@ type result = {
 }
 
 val config_label : config -> string
+(** {!Runtime.Scheme_spec.label}: the paper-table column label. *)
+
+(** Re-exported {!Runtime.Scheme_spec} shortcuts (default configs). *)
+
+val native : config
+val llvm_base : config
+val pa : config
+val pa_dummy : config
+val ours : config
+val ours_basic : config
+val ours_bounds : config
+val ours_epoch : config
+val tagged : config
+val efence : config
+val valgrind : config
+val capability : config
+
 val all_configs : config list
+(** The original tables' columns in column order: native, llvm-base,
+    pa, pa+dummy, ours, ours (no pools), ours+bounds, and the three
+    baselines.  The epoch/static/inferred/tagged variants are measured
+    by their dedicated bench sections, not the paper tables. *)
 
 val make_scheme :
   config ->

@@ -12,11 +12,11 @@ type row = {
 }
 
 let make_row ~name ~loc ~paper_ratio1 measure =
-  let native = measure Experiment.Native in
-  let llvm_base = measure Experiment.Llvm_base in
-  let pa = measure Experiment.Pa in
-  let pa_dummy = measure Experiment.Pa_dummy in
-  let ours = measure Experiment.Ours in
+  let native = measure Experiment.native in
+  let llvm_base = measure Experiment.llvm_base in
+  let pa = measure Experiment.pa in
+  let pa_dummy = measure Experiment.pa_dummy in
+  let ours = measure Experiment.ours in
   {
     name;
     loc;

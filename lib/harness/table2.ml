@@ -11,9 +11,9 @@ let row ?scale (batch : Workload.Spec.batch) =
   let cycles config =
     (Experiment.run_batch ?scale batch config).Experiment.cycles
   in
-  let base = cycles Experiment.Llvm_base in
-  let ours = cycles Experiment.Ours in
-  let valgrind = cycles Experiment.Valgrind in
+  let base = cycles Experiment.llvm_base in
+  let ours = cycles Experiment.ours in
+  let valgrind = cycles Experiment.valgrind in
   {
     name = batch.Workload.Spec.name;
     ours_cycles = ours;

@@ -8,13 +8,19 @@ type t = {
   (* Every address that ever lived without page protection — raw
      (sampled-out / fallback) allocations by their block address,
      unprotected frees by the object's user address.  Never cleared:
-     this is the attribution record for detection misses. *)
+     this is the attribution record for detection misses.  Tagged
+     fallback allocations are NOT recorded here: the tag table still
+     guards them. *)
   ever_unprotected : (Addr.t, unit) Hashtbl.t;
+  (* The tag table when this is a backend ladder; None for the classic
+     sample-rate ladders. *)
+  table : Tagging.Tag_table.t option;
 }
 
 let scheme t = t.scheme
 let governor t = t.governor
 let registry t = t.registry
+let tag_table t = t.table
 let unprotected_allocs t = !(t.unprotected_allocs)
 let unprotected_frees t = Governor.unprotected_free_count t.governor
 
@@ -153,9 +159,11 @@ let shadow_basic ?retry ?config machine =
     registry;
     unprotected_allocs;
     ever_unprotected;
+    table = None;
   }
 
-let shadow_pool ?retry ?config ?(reuse_shadow_va = true) machine =
+let shadow_pool ?retry ?config ?(pool = Schemes.default_pool_config) machine =
+  let { Schemes.reuse_shadow_va } = pool in
   let registry = Shadow.Object_registry.create () in
   let recycler = Apa.Page_recycler.create () in
   let governor = Governor.create ?config machine in
@@ -200,4 +208,164 @@ let shadow_pool ?retry ?config ?(reuse_shadow_va = true) machine =
       introspection = Scheme.No_introspection;
     }
   in
-  { scheme; governor; registry; unprotected_allocs; ever_unprotected }
+  { scheme; governor; registry; unprotected_allocs; ever_unprotected;
+    table = None }
+
+(* The backend ladder: one machine, three detection backends, the
+   governor choosing per-allocation which one guards the object.
+   Shadow paging while the protection syscalls are healthy; the tag
+   table — still a detecting backend, but one that needs no syscalls
+   and no fresh VA — when they are not (including as the fallback for a
+   shadow allocation whose syscalls failed after retries, which the
+   classic ladder could only leave raw); raw passthrough as the last
+   resort.  Frees route by ownership: the tag table knows its chunks,
+   raw blocks are tracked per pool, everything else is a shadow free. *)
+let backend_ladder ?retry ?config ?tagged:(tcfg = Schemes.default_tagged_config)
+    machine =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Governor.default_config with ladder = Governor.backend_ladder }
+  in
+  let registry = Shadow.Object_registry.create () in
+  let recycler = Apa.Page_recycler.create () in
+  let governor = Governor.create ~config machine in
+  let table =
+    Tagging.Tag_table.create ~tag_bits:tcfg.Schemes.tag_bits
+      ~check_cost:tcfg.Schemes.tag_check_cost machine
+  in
+  let ever_unprotected = Hashtbl.create 64 in
+  let unprotected_allocs = ref 0 in
+  let make_pool ?elem_size () =
+    Shadow.Shadow_pool.create ?elem_size ~recycler ~registry machine
+  in
+  let wrap_pool pool =
+    let raw_live : (Addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
+    (* untagged base -> tagged pointer, for free routing and destroy *)
+    let tagged_live : (Addr.t, Addr.t) Hashtbl.t = Hashtbl.create 64 in
+    let take_raw site size =
+      let a = Shadow.Shadow_pool.alloc_raw pool size in
+      (* The block may reuse granules of retired tagged chunks; drop
+         their table entries so a legitimate raw access can never trip
+         a stale tag.  Dangling tagged pointers into the range stop
+         faulting — exactly the attributed coverage loss raw mode is. *)
+      Tagging.Tag_table.release table ~base:a ~size;
+      Hashtbl.replace raw_live a ();
+      Hashtbl.replace ever_unprotected a ();
+      incr unprotected_allocs;
+      trace_malloc machine site size a;
+      a
+    in
+    let take_tagged site size =
+      let base = Shadow.Shadow_pool.alloc_raw pool size in
+      let tp = Tagging.Tag_table.register table ~base ~size ~site in
+      Hashtbl.replace tagged_live base tp;
+      trace_malloc machine site size tp;
+      tp
+    in
+    let alloc ?(site = "<unknown>") size =
+      Governor.on_alloc governor;
+      match Governor.backend governor with
+      | `Shadow when Governor.should_protect governor -> (
+        match
+          Retry.attempt ?policy:retry machine (fun () ->
+              Shadow.Shadow_pool.try_alloc pool ~site size)
+        with
+        | Ok a ->
+          Governor.record_success governor;
+          a
+        | Error e ->
+          Governor.record_failure governor
+            ~reason:("malloc:" ^ Fault_plan.error_label e);
+          (* Unlike the classic ladder's raw fallback, the object stays
+             guarded — by the backend that needs no syscalls. *)
+          take_tagged site size)
+      | `Shadow -> take_raw site size (* sampled out *)
+      | `Tagged -> take_tagged site size
+      | `Raw -> take_raw site size
+    in
+    let free ?(site = "<unknown>") a =
+      let base = Tagging.Tag_table.untag a in
+      if Hashtbl.mem tagged_live base && Tagging.Tag_table.owns table base
+      then begin
+        match Tagging.Tag_table.free table a ~site with
+        | b ->
+          Hashtbl.remove tagged_live b;
+          Shadow.Shadow_pool.dealloc_raw pool b;
+          trace_free machine site b
+        | exception (Shadow.Report.Violation r as exn) ->
+          trace_violation machine r;
+          raise exn
+      end
+      else if Hashtbl.mem raw_live a then begin
+        Hashtbl.remove raw_live a;
+        Shadow.Shadow_pool.dealloc_raw pool a;
+        trace_free machine site a
+      end
+      else
+        match
+          Retry.attempt ?policy:retry machine (fun () ->
+              Shadow.Shadow_pool.try_free pool ~site a)
+        with
+        | Ok () -> Governor.record_success governor
+        | Error e ->
+          Governor.record_failure governor
+            ~reason:("free:" ^ Fault_plan.error_label e);
+          let obj = Shadow.Shadow_pool.free_unprotected pool ~site a in
+          Governor.record_unprotected_free governor;
+          Hashtbl.replace ever_unprotected
+            obj.Shadow.Object_registry.user_addr ()
+    in
+    {
+      Scheme.pool_alloc = alloc;
+      pool_free = free;
+      pool_destroy =
+        (fun () ->
+          Hashtbl.iter
+            (fun _ tp ->
+              ignore (Tagging.Tag_table.free table tp ~site:"<pool-destroy>"))
+            tagged_live;
+          Hashtbl.reset tagged_live;
+          Shadow.Shadow_pool.destroy pool);
+    }
+  in
+  let global_handle = wrap_pool (make_pool ()) in
+  (* Tag check first (it owns the granule or it doesn't), then the
+     guarded MMU path for shadow and raw addresses. *)
+  let load addr ~width =
+    match Tagging.Tag_table.check_access table addr ~access:Perm.Read with
+    | Some raw -> guarded_load machine registry raw ~width
+    | None ->
+      guarded_load machine registry (Tagging.Tag_table.untag addr) ~width
+    | exception (Shadow.Report.Violation r as exn) ->
+      trace_violation machine r;
+      raise exn
+  in
+  let store addr ~width v =
+    match Tagging.Tag_table.check_access table addr ~access:Perm.Write with
+    | Some raw -> guarded_store machine registry raw ~width v
+    | None ->
+      guarded_store machine registry (Tagging.Tag_table.untag addr) ~width v
+    | exception (Shadow.Report.Violation r as exn) ->
+      trace_violation machine r;
+      raise exn
+  in
+  let scheme =
+    {
+      Scheme.name = "governed-backend-ladder";
+      machine;
+      malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+      free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+      load;
+      store;
+      pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+      compute = (fun n -> Stats.count_instructions machine.Machine.stats n);
+      extra_memory_bytes =
+        (fun () ->
+          (Tagging.Tag_table.stats table).Tagging.Tag_table.table_bytes);
+      guarantees_detection = false;
+      introspection = Scheme.No_introspection;
+    }
+  in
+  { scheme; governor; registry; unprotected_allocs; ever_unprotected;
+    table = Some table }

@@ -25,11 +25,31 @@ val shadow_basic :
 val shadow_pool :
   ?retry:Retry.policy ->
   ?config:Governor.config ->
-  ?reuse_shadow_va:bool ->
+  ?pool:Schemes.pool_config ->
   Vmm.Machine.t ->
   t
 (** Governed {!Schemes.shadow_pool}: the full pool-based scheme, with
     governed sub-pools sharing one governor, registry and recycler. *)
+
+val backend_ladder :
+  ?retry:Retry.policy ->
+  ?config:Governor.config ->
+  ?tagged:Schemes.tagged_config ->
+  Vmm.Machine.t ->
+  t
+(** The governor stepping {e backends}, not sample rates: shadow paging
+    in [Full], the pointer-tagging backend ({!Tagging.Tag_table}) on
+    the [Tagged] rung, raw passthrough at the bottom.  [config]
+    defaults to {!Governor.default_config} with
+    {!Governor.backend_ladder} as the rung order.  A shadow allocation
+    whose syscalls fail after retries falls back to a {e tagged}
+    allocation — still guarded, unlike the classic ladder's raw
+    fallback — so [unprotected_allocs] counts only sampled-out and
+    [Passthrough]/raw blocks.  A raw allocation that reuses granules of
+    retired tagged chunks evicts their tag-table entries (a legitimate
+    access must never trip a stale tag); dangling tagged pointers into
+    such a range stop faulting, which is precisely the attributed
+    coverage loss of the raw rung. *)
 
 val scheme : t -> Scheme.t
 (** The runnable scheme record (note [guarantees_detection] is false
@@ -38,6 +58,10 @@ val scheme : t -> Scheme.t
 
 val governor : t -> Governor.t
 val registry : t -> Shadow.Object_registry.t
+
+val tag_table : t -> Tagging.Tag_table.t option
+(** The tag table of a {!backend_ladder} (its checks/faults/wrap stats
+    and modeled byte overhead); [None] for the classic ladders. *)
 
 val was_unprotected : t -> Vmm.Addr.t -> bool
 (** Whether this address (block base or any interior address of a

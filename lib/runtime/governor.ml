@@ -3,12 +3,21 @@ open Vmm
 type mode =
   | Full
   | Sampled of int
+  | Tagged
   | Passthrough
 
 let mode_label = function
   | Full -> "full"
   | Sampled n -> Printf.sprintf "sampled-1-in-%d" n
+  | Tagged -> "tagged"
   | Passthrough -> "passthrough"
+
+(* Modes that perform no protected (shadow) operations: no
+   success/failure signal can accumulate there, so recovery needs the
+   periodic probe instead of [record_success] streaks. *)
+let is_passive = function
+  | Tagged | Passthrough -> true
+  | Full | Sampled _ -> false
 
 type config = {
   sample_period : int;
@@ -18,7 +27,11 @@ type config = {
   probe_every : int;
   cooldown : int;
   va_soft_budget : int;
+  ladder : mode list;
 }
+
+let classic_ladder ~sample_period = [ Full; Sampled sample_period; Passthrough ]
+let backend_ladder = [ Full; Tagged; Passthrough ]
 
 let default_config =
   {
@@ -29,6 +42,7 @@ let default_config =
     probe_every = 64;
     cooldown = 32;
     va_soft_budget = max_int;
+    ladder = [];
   }
 
 type transition = {
@@ -42,6 +56,7 @@ type transition = {
 type t = {
   machine : Machine.t;
   config : config;
+  ladder : mode list;  (* resolved rung order, most- to least-protected *)
   mutable mode : mode;
   mutable alloc_seq : int;
   (* Sliding window of recent protected-operation outcomes
@@ -74,11 +89,34 @@ let check config =
   if config.cooldown < 0 then invalid_arg "Governor: cooldown < 0";
   if config.va_soft_budget < 0 then invalid_arg "Governor: va_soft_budget < 0"
 
+let resolve_ladder (config : config) =
+  let ladder =
+    match config.ladder with
+    | [] -> classic_ladder ~sample_period:config.sample_period
+    | l -> l
+  in
+  (match ladder with
+  | Full :: _ -> ()
+  | _ -> invalid_arg "Governor: ladder must start at Full");
+  List.iter
+    (function
+      | Sampled n when n < 2 ->
+        invalid_arg "Governor: ladder Sampled period < 2"
+      | _ -> ())
+    ladder;
+  let rec dup = function
+    | [] -> false
+    | m :: rest -> List.mem m rest || dup rest
+  in
+  if dup ladder then invalid_arg "Governor: ladder has a duplicate rung";
+  ladder
+
 let create ?(config = default_config) machine =
   check config;
   {
     machine;
     config;
+    ladder = resolve_ladder config;
     mode = Full;
     alloc_seq = 0;
     recent = Queue.create ();
@@ -94,6 +132,14 @@ let create ?(config = default_config) machine =
   }
 
 let mode t = t.mode
+let ladder t = t.ladder
+
+let backend t =
+  match t.mode with
+  | Full | Sampled _ -> `Shadow
+  | Tagged -> `Tagged
+  | Passthrough -> `Raw
+
 let alloc_seq t = t.alloc_seq
 let transitions t = List.rev t.transitions_rev
 let unprotected_free_count t = t.unprotected_frees
@@ -108,10 +154,13 @@ let shift t to_mode ~reason =
   let from_mode = t.mode in
   if to_mode <> from_mode then begin
     (match to_mode with
-    | Passthrough when t.last_up_was_probe ->
+    | (Passthrough | Tagged) when t.last_up_was_probe ->
+      (* A probe up-shift bounced straight back down to a passive rung:
+         exponential backoff so a persistent fault storm cannot make the
+         ladder flap at a fixed frequency. *)
       t.probe_scale <- t.probe_scale * 2
     | Full -> t.probe_scale <- 1
-    | Passthrough | Sampled _ -> ());
+    | Passthrough | Tagged | Sampled _ -> ());
     t.last_up_was_probe <- reason = "probe";
     t.mode <- to_mode;
     t.last_transition_seq <- t.alloc_seq;
@@ -135,16 +184,23 @@ let shift t to_mode ~reason =
   end
 
 let next_down t =
-  match t.mode with
-  | Full -> Some (Sampled t.config.sample_period)
-  | Sampled _ -> Some Passthrough
-  | Passthrough -> None
+  let rec go = function
+    | a :: (b :: _) when a = t.mode -> Some b
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go t.ladder
 
 let next_up t =
-  match t.mode with
-  | Passthrough -> Some (Sampled t.config.sample_period)
-  | Sampled _ -> if t.va_clamped then None else Some Full
-  | Full -> None
+  let rec go = function
+    | a :: b :: _ when b = t.mode ->
+      (* VA never shrinks, so once the soft budget is crossed the
+         always-protect rung stays off-limits. *)
+      if a = Full && t.va_clamped then None else Some a
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go t.ladder
 
 let cooled_down t = t.alloc_seq - t.last_transition_seq >= t.config.cooldown
 
@@ -162,21 +218,22 @@ let on_alloc t =
     t.va_clamped <- true;
     if t.mode = Full then step_down t ~reason:"va-budget"
   end;
-  (* Passthrough performs no protected operations, so no success signal
-     can accumulate; recovery needs an explicit periodic probe. *)
-  match t.mode with
-  | Passthrough
-    when t.alloc_seq - t.last_transition_seq
-         >= t.config.probe_every * t.probe_scale
-         && cooled_down t ->
-    (match next_up t with Some m -> shift t m ~reason:"probe" | None -> ())
-  | Passthrough | Sampled _ | Full -> ()
+  (* Passive rungs (Passthrough, Tagged) perform no protected shadow
+     operations, so no success signal can accumulate; recovery needs an
+     explicit periodic probe. *)
+  if
+    is_passive t.mode
+    && t.alloc_seq - t.last_transition_seq
+       >= t.config.probe_every * t.probe_scale
+    && cooled_down t
+  then
+    match next_up t with Some m -> shift t m ~reason:"probe" | None -> ()
 
 let should_protect t =
   match t.mode with
   | Full -> true
   | Sampled n -> t.alloc_seq mod n = 0
-  | Passthrough -> false
+  | Tagged | Passthrough -> false
 
 let push_outcome t failed =
   Queue.push failed t.recent;
@@ -224,8 +281,9 @@ let degraded_windows t =
     | tr :: rest ->
       (match (open_window, tr.to_mode) with
       | None, Full -> go None acc rest
-      | None, (Sampled _ | Passthrough) -> go (Some tr.alloc_seq) acc rest
-      | Some _, (Sampled _ | Passthrough) -> go open_window acc rest
+      | None, (Sampled _ | Tagged | Passthrough) ->
+        go (Some tr.alloc_seq) acc rest
+      | Some _, (Sampled _ | Tagged | Passthrough) -> go open_window acc rest
       | (Some _ as w), Full ->
         (match close tr.alloc_seq w with
         | Some interval -> go None (interval :: acc) rest

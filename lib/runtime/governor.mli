@@ -5,9 +5,14 @@
     at pooldestroy).  When the kernel starts refusing them, a server
     that treats every failure as fatal turns a transient resource blip
     into an outage.  The governor instead steps the scheme down a
-    ladder:
+    configurable ladder of rungs, by default
 
     {v Full  -->  Sampled (1-in-N, GWP-ASan-style)  -->  Passthrough v}
+
+    and — when the runtime wires in the pointer-tagging backend — a
+    {e backend} ladder such as
+
+    {v Full (shadow)  -->  Tagged (software checks)  -->  Passthrough v}
 
     and back up when the syscalls recover.  Every transition is
     recorded (cycle clock + allocation sequence number) and emitted as
@@ -20,9 +25,10 @@
     operations.  Up-shifts need [recover_after] consecutive successes
     {e and} [cooldown] allocations since the last transition (so a
     bursty fault pattern cannot make the ladder oscillate).
-    Passthrough performs no protected syscalls at all, so it recovers
-    via an explicit probe every [probe_every] allocations; each failed
-    probe (one that slides straight back to Passthrough) doubles the
+    Passive rungs ([Passthrough], [Tagged]) perform no protected
+    syscalls at all, so they recover via an explicit probe every
+    [probe_every] allocations; each failed
+    probe (one that slides straight back to a passive rung) doubles the
     next probe interval, so a persistent fault storm cannot make the
     ladder flap at a fixed frequency.  Crossing
     [va_soft_budget] bytes of mapped address space permanently clamps
@@ -32,21 +38,43 @@
 type mode =
   | Full  (** every object shadowed and protected *)
   | Sampled of int  (** 1 in [n] objects shadowed *)
+  | Tagged
+      (** the pointer-tagging backend carries detection: software tag
+          checks, no shadow syscalls, no VA growth.  A {e passive} rung
+          from the governor's perspective — it generates no protected
+          syscall traffic, so recovery is probe-driven. *)
   | Passthrough  (** no shadowing at all *)
 
 val mode_label : mode -> string
+
+val is_passive : mode -> bool
+(** Rungs that perform no protected shadow operations ([Tagged],
+    [Passthrough]) and therefore recover only via probes. *)
 
 type config = {
   sample_period : int;  (** [N] of [Sampled]'s 1-in-N *)
   failure_threshold : int;  (** failures in the window that trip a shift *)
   window : int;  (** sliding window length, in protected ops *)
   recover_after : int;  (** consecutive successes to step back up *)
-  probe_every : int;  (** allocs between Passthrough recovery probes *)
+  probe_every : int;  (** allocs between passive-rung recovery probes *)
   cooldown : int;  (** min allocs between transitions (up-shifts) *)
   va_soft_budget : int;  (** mapped-bytes ceiling for [Full] mode *)
+  ladder : mode list;
+      (** explicit rung order, most- to least-protected; must start at
+          [Full] and contain no duplicates.  [[]] (the default) means
+          the classic [Full; Sampled sample_period; Passthrough]. *)
 }
 
 val default_config : config
+
+val classic_ladder : sample_period:int -> mode list
+(** [[Full; Sampled sample_period; Passthrough]] — the pre-backend
+    ladder, and what an empty [config.ladder] resolves to. *)
+
+val backend_ladder : mode list
+(** [[Full; Tagged; Passthrough]] — step {e backends}, not sample
+    rates: shadow paging while syscalls are healthy, pointer tagging
+    when they are not, raw only as the last resort. *)
 
 type transition = {
   at_cycles : float;
@@ -63,11 +91,21 @@ val create : ?config:config -> Vmm.Machine.t -> t
     never trip or never recover. *)
 
 val mode : t -> mode
+
+val ladder : t -> mode list
+(** The resolved rung order this governor walks. *)
+
+val backend : t -> [ `Shadow | `Tagged | `Raw ]
+(** Which detection backend the current rung routes allocations to:
+    [Full]/[Sampled] are shadow paging (sampling decided per-alloc by
+    {!should_protect}), [Tagged] is the tag table, [Passthrough] is
+    raw. *)
+
 val alloc_seq : t -> int
 
 val on_alloc : t -> unit
-(** Advance the allocation clock: checks the VA budget and, in
-    [Passthrough], the recovery probe. Call once per allocation before
+(** Advance the allocation clock: checks the VA budget and, on passive
+    rungs, the recovery probe. Call once per allocation before
     {!should_protect}. *)
 
 val should_protect : t -> bool

@@ -16,6 +16,34 @@ let trace_free machine site addr =
     Telemetry.Sink.emit machine.Machine.trace (fun () ->
         Telemetry.Event.Free { site; addr })
 
+type pa_config = { dummy_syscalls : bool }
+
+let default_pa_config = { dummy_syscalls = false }
+
+type pool_config = { reuse_shadow_va : bool }
+
+let default_pool_config = { reuse_shadow_va = true }
+
+type spatial_config = { bounds_check_cost : int }
+
+let default_spatial_config = { bounds_check_cost = 6 }
+
+type static_config = { elide : string -> bool }
+
+type epoch_config = {
+  max_frees : int;
+  max_pages : int;
+  slab_copies : int;
+  backstop_check_cost : int;
+}
+
+let default_epoch_config =
+  { max_frees = 64; max_pages = 256; slab_copies = 16; backstop_check_cost = 2 }
+
+type tagged_config = { tag_bits : int; tag_check_cost : int }
+
+let default_tagged_config = { tag_bits = 8; tag_check_cost = 4 }
+
 type elision_stats = {
   elided_allocs : int;
   elided_frees : int;
@@ -76,6 +104,10 @@ type info =
       base : Scheme.t;
       recovery : unit -> recovery_stats;
     }
+  | Tagged of {
+      table : Tagging.Tag_table.t;
+      recycler : Apa.Page_recycler.t;
+    }
 
 (* The private carrier on the scheme record; [introspect] is the only
    reader, so the constructor never leaks. *)
@@ -121,7 +153,8 @@ let pool_syscall_pair machine dummy =
     Kernel.dummy_syscall machine
   end
 
-let pa ?(dummy_syscalls = false) machine =
+let pa ?(config = default_pa_config) machine =
+  let { dummy_syscalls } = config in
   let recycler = Apa.Page_recycler.create () in
   let make_pool ?elem_size () =
     Apa.Pool.create ?elem_size ~reclaim:(Apa.Pool.Recycle recycler) machine
@@ -213,7 +246,8 @@ let shadow_basic machine =
   in
   Lazy.force scheme
 
-let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
+let shadow_pool_with_registry ?(config = default_pool_config) machine =
+  let { reuse_shadow_va } = config in
   let registry = Shadow.Object_registry.create () in
   let recycler = Apa.Page_recycler.create () in
   let make_pool ?elem_size () =
@@ -245,8 +279,7 @@ let shadow_pool_with_registry ?(reuse_shadow_va = true) machine =
     },
     registry )
 
-let shadow_pool ?reuse_shadow_va machine =
-  fst (shadow_pool_with_registry ?reuse_shadow_va machine)
+let shadow_pool ?config machine = fst (shadow_pool_with_registry ?config machine)
 
 (* Shadow-pool plus per-access software bounds checks: a spatial error
    that stays within the object's shadow page is invisible to the MMU
@@ -254,7 +287,8 @@ let shadow_pool ?reuse_shadow_va machine =
    validates the offset against the object registry before letting the
    access through — the paper's future-work "comprehensive safety
    checking tool" built from its two complementary halves. *)
-let shadow_pool_spatial ?(bounds_check_cost = 6) machine =
+let shadow_pool_spatial ?(config = default_spatial_config) machine =
+  let { bounds_check_cost } = config in
   let base, registry = shadow_pool_with_registry machine in
   let bounds_violation access addr obj =
     let info =
@@ -375,7 +409,9 @@ let recoverable ?(on_report = fun (_ : Shadow.Report.t) -> ())
    allocation path (no shadow alias, no mremap/mprotect), everything
    else — including position-less sites the policy cannot vouch for —
    keeps the full scheme, so detection at May/Must sites is unchanged. *)
-let shadow_pool_static ?(reuse_shadow_va = true) ~elide machine =
+let shadow_pool_static ~config machine =
+  let { elide } = config in
+  let reuse_shadow_va = true in
   let registry = Shadow.Object_registry.create () in
   let recycler = Apa.Page_recycler.create () in
   let make_pool ?elem_size () =
@@ -525,8 +561,8 @@ let shadow_pool_inferred machine =
    [shadow_pool]'s.  The batched protect goes through [Retry], and a
    run that still fails is split per object by the epoch — protection
    is never silently dropped. *)
-let shadow_pool_epoch ?(max_frees = 64) ?(max_pages = 256) ?(slab_copies = 16)
-    ?(backstop_check_cost = 2) machine =
+let shadow_pool_epoch ?(config = default_epoch_config) machine =
+  let { max_frees; max_pages; slab_copies; backstop_check_cost } = config in
   let registry = Shadow.Object_registry.create () in
   let recycler = Apa.Page_recycler.create () in
   let backstop_hits = ref 0 in
@@ -660,4 +696,96 @@ let shadow_pool_epoch ?(max_frees = 64) ?(max_pages = 256) ?(slab_copies = 16)
     guarantees_detection = true;
     introspection =
       Info (Shadow_pool_epoch { global; recycler; epoch = epoch_totals; drain });
+  }
+
+(* The pointer-tagging backend (xTag/LightDE): a generation tag in the
+   pointer's high bits, checked in software against a per-granule
+   generation table on every access.  No shadow aliasing and no
+   protection syscalls — memory and VA recycle immediately — at the
+   price of a few instructions per access and a bounded wraparound
+   window, every pass through which the table counts for attribution.
+   Allocator bookkeeping (headers, free-list links) goes through the
+   MMU directly and is never tag-checked, exactly as the shadow schemes
+   exempt it from guarded access. *)
+let tagged ?(config = default_tagged_config) machine =
+  let { tag_bits; tag_check_cost } = config in
+  let table = Tagging.Tag_table.create ~tag_bits ~check_cost:tag_check_cost machine in
+  let recycler = Apa.Page_recycler.create () in
+  let make_pool ?elem_size () =
+    Apa.Pool.create ?elem_size ~reclaim:(Apa.Pool.Recycle recycler) machine
+  in
+  (* An address the table never saw is wild; the raw MMU access decides
+     (and a trap is classified just as [Shadow.Detector] would). *)
+  let wild_wrap thunk =
+    try thunk ()
+    with Fault.Trap fault ->
+      let r =
+        {
+          Shadow.Report.kind = Shadow.Report.Wild_access (Fault.access fault);
+          fault_addr = Fault.addr fault;
+          object_info = None;
+        }
+      in
+      trace_violation machine r;
+      raise (Shadow.Report.Violation r)
+  in
+  let checked access addr k =
+    match Tagging.Tag_table.check_access table addr ~access with
+    | Some raw -> wild_wrap (fun () -> k raw)
+    | None -> wild_wrap (fun () -> k (Tagging.Tag_table.untag addr))
+    | exception (Shadow.Report.Violation r as exn) ->
+      trace_violation machine r;
+      raise exn
+  in
+  let wrap_pool pool =
+    (* untagged base -> (tagged pointer, size): the pool's live set, so
+       destroy can retire every chunk the program never freed. *)
+    let live = Hashtbl.create 64 in
+    {
+      Scheme.pool_alloc =
+        (fun ?(site = "<unknown>") size ->
+          let base = Apa.Pool.alloc pool size in
+          let tp = Tagging.Tag_table.register table ~base ~size ~site in
+          Hashtbl.replace live base tp;
+          Stats.count_alloc_op machine.Machine.stats;
+          trace_malloc machine site size tp;
+          tp);
+      pool_free =
+        (fun ?(site = "<unknown>") a ->
+          match Tagging.Tag_table.free table a ~site with
+          | base ->
+            Hashtbl.remove live base;
+            Apa.Pool.dealloc pool base;
+            Stats.count_free_op machine.Machine.stats;
+            trace_free machine site base
+          | exception (Shadow.Report.Violation r as exn) ->
+            trace_violation machine r;
+            raise exn);
+      pool_destroy =
+        (fun () ->
+          Hashtbl.iter
+            (fun _ tp ->
+              ignore
+                (Tagging.Tag_table.free table tp ~site:"<pool-destroy>"))
+            live;
+          Hashtbl.reset live;
+          Apa.Pool.destroy pool);
+    }
+  in
+  let global_handle = wrap_pool (make_pool ()) in
+  {
+    Scheme.name = "tagged";
+    machine;
+    malloc = (fun ?site size -> global_handle.Scheme.pool_alloc ?site size);
+    free = (fun ?site a -> global_handle.Scheme.pool_free ?site a);
+    load = (fun addr ~width -> checked Perm.Read addr (Mmu.load machine ~width));
+    store =
+      (fun addr ~width v ->
+        checked Perm.Write addr (fun raw -> Mmu.store machine raw ~width v));
+    pool_create = (fun ?elem_size () -> wrap_pool (make_pool ?elem_size ()));
+    compute = compute_direct machine;
+    extra_memory_bytes =
+      (fun () -> (Tagging.Tag_table.stats table).Tagging.Tag_table.table_bytes);
+    guarantees_detection = true;
+    introspection = Info (Tagged { table; recycler });
   }

@@ -1,30 +1,118 @@
-(** Constructors for the paper's own configurations (Table 1 columns).
-    Related-work baselines (Electric Fence, Valgrind-style, capability
-    checking) live in the [baseline] library. *)
+(** Constructors for the paper's own configurations (Table 1 columns)
+    plus the pointer-tagging backend.  Related-work baselines (Electric
+    Fence, Valgrind-style, capability checking) live in the [baseline]
+    library.
+
+    Every tunable lives in a per-backend config record with a documented
+    default value, so adding a knob extends one record instead of
+    rippling an optional argument through every call site.  The typed
+    scheme catalogue over these constructors is {!Scheme_spec}. *)
+
+(** {1 Per-backend configuration} *)
+
+type pa_config = {
+  dummy_syscalls : bool;
+      (** each alloc/free performs one no-op [mremap]/[mprotect]-shaped
+          syscall — the paper's "PA + dummy syscalls" column, isolating
+          syscall overhead from TLB effects.  Default [false]. *)
+}
+
+val default_pa_config : pa_config
+
+type pool_config = {
+  reuse_shadow_va : bool;
+      (** place new shadow ranges on recycled addresses when available,
+          so steady-state VA consumption is flat; [false] reproduces the
+          stricter reading of the paper in which only canonical pages
+          recycle (the ablation bench measures the difference).
+          Default [true]. *)
+}
+
+val default_pool_config : pool_config
+
+type spatial_config = {
+  bounds_check_cost : int;
+      (** instructions charged per software bounds check.  Default 6,
+          matching the few-percent overhead of the authors' companion
+          spatial checker. *)
+}
+
+val default_spatial_config : spatial_config
+
+type static_config = {
+  elide : string -> bool;
+      (** per-malloc-site protection policy (see
+          [Minic.Dangling.elide_policy]): [true] means every use of the
+          site's points-to class was proved Safe, so the allocation
+          skips its shadow alias.  No default — the policy is the
+          scheme's reason to exist. *)
+}
+
+type epoch_config = {
+  max_frees : int;   (** quarantined frees that force retirement; 64 *)
+  max_pages : int;   (** quarantined pages that force retirement; 256 *)
+  slab_copies : int; (** shadow aliases per vectored slab mremap; 16 *)
+  backstop_check_cost : int;
+      (** instructions per access for the quarantine-window software
+          check, charged only while an epoch is non-empty; 2 *)
+}
+
+val default_epoch_config : epoch_config
+
+type tagged_config = {
+  tag_bits : int;
+      (** width of the hardware-checked generation tag (1..15).
+          Default 8 — one tag byte per 16-byte granule, the xTag
+          operating point; smaller widths wrap sooner (the differential
+          harness uses 2 to provoke attributable wraparound). *)
+  tag_check_cost : int;
+      (** instructions charged per tag check (mask, shift, tag-byte
+          load, compare).  Default 4. *)
+}
+
+val default_tagged_config : tagged_config
+
+(** {1 Schemes} *)
 
 val native : Vmm.Machine.t -> Scheme.t
 (** The unmodified program: plain {!Heap.Freelist_malloc}, raw loads and
     stores, no pools.  A dangling use silently reads whatever the reused
     memory holds — or segfaults undiagnosed if it strays off the map. *)
 
-val pa : ?dummy_syscalls:bool -> Vmm.Machine.t -> Scheme.t
+val pa : ?config:pa_config -> Vmm.Machine.t -> Scheme.t
 (** Automatic Pool Allocation alone (the "PA" column): allocations are
     segregated into pools with virtual-page recycling at pool destroy,
-    but no shadow pages and no protection — so no detection.  With
-    [dummy_syscalls] each allocation performs one no-op [mremap]-shaped
-    syscall and each free one no-op [mprotect]-shaped syscall: the
-    paper's "PA + dummy syscalls" column, isolating syscall overhead
-    from TLB effects. *)
+    but no shadow pages and no protection — so no detection. *)
 
 val shadow_basic : Vmm.Machine.t -> Scheme.t
 (** The basic scheme of §3.2, applicable to unmodified binaries: shadow
     pages over the ordinary allocator, full detection, but no virtual
     address reuse (pool operations degrade to plain malloc/free). *)
 
-val shadow_pool : ?reuse_shadow_va:bool -> Vmm.Machine.t -> Scheme.t
+val shadow_pool : ?config:pool_config -> Vmm.Machine.t -> Scheme.t
 (** The full approach (§3.3): shadow pages + Automatic Pool Allocation.
     Top-level [malloc]/[free] go through a global pool; [pool_create]
     makes compiler-inferred pools whose destroy recycles all pages. *)
+
+val tagged : ?config:tagged_config -> Vmm.Machine.t -> Scheme.t
+(** The pointer-tagging backend ({!Tagging.Tag_table}; xTag/LightDE in
+    PAPERS.md) — the opposite point on the overhead-vs-coverage
+    frontier from shadow paging.  Allocation embeds a generation tag in
+    the pointer's unused high bits; every load and store pays a
+    [tag_check_cost]-instruction software check of the tag against the
+    per-granule generation table; free validates the tag and bumps the
+    generation, so a stale pointer faults deterministically (raised as
+    {!Shadow.Report.Tag_mismatch} with full alloc/free-site
+    diagnostics) while the memory and its address are reused
+    immediately.  No shadow aliasing, no [mremap]/[mprotect] traffic,
+    no VA growth; the one coverage hole is a stale pointer whose
+    generation distance is an exact multiple of [2^tag_bits], which
+    passes the masked check — counted and bounded in the table's
+    [wrap_masked_passes], so the differential harness can attribute
+    every asymmetry against the shadow schemes.  Pool destroy retires
+    every chunk still live in the pool (their granule generations bump,
+    matching [pooldestroy] semantics).  Table stats are available via
+    {!introspect}. *)
 
 type elision_stats = {
   elided_allocs : int;  (** allocations served without a shadow alias *)
@@ -97,6 +185,14 @@ type info =
       recovery : unit -> recovery_stats;
           (** aggregate recovery counts so far *)
     }
+  | Tagged of {
+      table : Tagging.Tag_table.t;
+          (** the generation-tag table — checks, faults, wraps and
+              modeled byte overhead via [Tagging.Tag_table.stats] *)
+      recycler : Apa.Page_recycler.t;
+          (** the canonical-page free list (tagging recycles VA
+              immediately; this is where it goes) *)
+    }
 
 val introspect : Scheme.t -> info
 (** The single entry point for scheme internals.  Reads the
@@ -105,11 +201,7 @@ val introspect : Scheme.t -> info
     on many domains — and returns [Opaque] for schemes built by other
     libraries (baselines, governed wrappers). *)
 
-val shadow_pool_static :
-  ?reuse_shadow_va:bool ->
-  elide:(string -> bool) ->
-  Vmm.Machine.t ->
-  Scheme.t
+val shadow_pool_static : config:static_config -> Vmm.Machine.t -> Scheme.t
 (** {!shadow_pool} driven by a static per-malloc-site protection policy
     (see [Minic.Dangling.elide_policy]): when [elide site] is true the
     allocation is served from the canonical pages with no shadow alias —
@@ -129,13 +221,7 @@ val shadow_pool_inferred : Vmm.Machine.t -> Scheme.t
     is exactly {!shadow_pool}'s.  Lifecycle and page counts are
     available via {!introspect}. *)
 
-val shadow_pool_epoch :
-  ?max_frees:int ->
-  ?max_pages:int ->
-  ?slab_copies:int ->
-  ?backstop_check_cost:int ->
-  Vmm.Machine.t ->
-  Scheme.t
+val shadow_pool_epoch : ?config:epoch_config -> Vmm.Machine.t -> Scheme.t
 (** {!shadow_pool} with epoch-batched deferred protection
     ({!Shadow.Epoch}) and slab-preallocated shadow aliases
     ({!Shadow.Slab}): a free is validated and quarantined instead of
@@ -167,8 +253,7 @@ val recoverable :
     wrapper never re-traces.  Recovery counts are available via
     {!introspect}. *)
 
-val shadow_pool_spatial :
-  ?bounds_check_cost:int -> Vmm.Machine.t -> Scheme.t
+val shadow_pool_spatial : ?config:spatial_config -> Vmm.Machine.t -> Scheme.t
 (** The paper's future-work "comprehensive safety checking tool":
     {!shadow_pool} (all temporal errors, by hardware) plus a software
     bounds check per access against the object registry (spatial errors

@@ -4,6 +4,7 @@ type kind =
   | Invalid_free
   | Wild_access of Vmm.Perm.access
   | Out_of_bounds of Vmm.Perm.access
+  | Tag_mismatch of Vmm.Perm.access
 
 type object_info = {
   object_id : int;
@@ -30,6 +31,8 @@ let kind_label = function
   | Wild_access Vmm.Perm.Write -> "wild write"
   | Out_of_bounds Vmm.Perm.Read -> "out-of-bounds read"
   | Out_of_bounds Vmm.Perm.Write -> "out-of-bounds write"
+  | Tag_mismatch Vmm.Perm.Read -> "tag-mismatch (read)"
+  | Tag_mismatch Vmm.Perm.Write -> "tag-mismatch (write)"
 
 let all_kinds =
   [
@@ -41,6 +44,8 @@ let all_kinds =
     Wild_access Vmm.Perm.Write;
     Out_of_bounds Vmm.Perm.Read;
     Out_of_bounds Vmm.Perm.Write;
+    Tag_mismatch Vmm.Perm.Read;
+    Tag_mismatch Vmm.Perm.Write;
   ]
 
 let kind_of_label label =

@@ -17,6 +17,11 @@ type kind =
           page but outside the object's [0, size) extent — caught only
           by the combined spatial+temporal scheme (the paper's
           future-work "comprehensive safety checking tool"). *)
+  | Tag_mismatch of Vmm.Perm.access
+      (** Temporal violation caught by the pointer-tagging backend: the
+          pointer's embedded generation tag no longer matches the
+          granule's current generation ([Tagging.Tag_table]).  Same bug
+          class as [Use_after_free], different detector. *)
 
 type object_info = {
   object_id : int;

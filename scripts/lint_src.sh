@@ -30,6 +30,27 @@ for f in $(find lib/vmm lib/shadow lib/minic -name '*.ml' | sort); do
   fi
 done
 
+# Scheme names are typed: only Runtime.Scheme_spec.of_string may branch
+# on a scheme-name string.  Everywhere else must pattern-match the
+# Scheme_spec.t constructors, so adding a scheme is one file, not a
+# grep-and-pray across the tree.  Catches match arms, String.equal and
+# conditional comparisons against any CLI scheme name; record
+# construction (Scheme.name = "...") is deliberately not flagged.
+names='native|llvm|pa-dummy|ours|ours-basic|ours-bounds|ours-static|ours-inferred|ours-epoch|tagged|ladder|efence|valgrind|capability'
+scheme_match=$( {
+  grep -rnE "\| +\"($names)(\+recover)?\"" \
+    lib bin bench test examples --include='*.ml' || true
+  grep -rnE "String\.equal[^\"]*\"($names)(\+recover)?\"" \
+    lib bin bench test examples --include='*.ml' || true
+  grep -rnE "if [^;\"]*(=|<>) *\"($names)(\+recover)?\"" \
+    lib bin bench test examples --include='*.ml' || true
+} | grep -v '^lib/runtime/scheme_spec\.ml:' || true)
+if [ -n "$scheme_match" ]; then
+  echo "lint-src: scheme-name string matching outside Scheme_spec.of_string:" >&2
+  echo "$scheme_match" >&2
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "lint-src: core libraries clean"
 fi

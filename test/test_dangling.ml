@@ -692,7 +692,7 @@ let oracle_one ~ctx ~expect_elision source bug =
   (* static-elision scheme: same contract, plus detection must survive *)
   let static_scheme =
     Runtime.Schemes.shadow_pool_static
-      ~elide:(Minic.Dangling.elide_policy r)
+      ~config:{ Runtime.Schemes.elide = Minic.Dangling.elide_policy r }
       (Vmm.Machine.create ())
   in
   let stats () =
@@ -712,6 +712,31 @@ let oracle_one ~ctx ~expect_elision source bug =
       (Runtime.Schemes.shadow_pool_inferred (Vmm.Machine.create ()))
   in
   check_violations_covered ~ctx:(ctx ^ "/inferred") r viol_inferred;
+  (* tagged backend: the pure-software generation check must detect
+     exactly what the MMU-trap scheme detects, at the same sites in the
+     same order.  The only permitted asymmetry is a tag-width
+     wraparound, which the wide generation attributes exactly — any
+     divergence must be covered by the recorded wrap passes. *)
+  let tagged_scheme = Runtime.Schemes.tagged (Vmm.Machine.create ()) in
+  let out_tagged, viol_tagged = run_with_hook transformed tagged_scheme in
+  check_violations_covered ~ctx:(ctx ^ "/tagged") r viol_tagged;
+  (if viol_tagged <> viol_full then
+     let ts =
+       match Runtime.Schemes.introspect tagged_scheme with
+       | Runtime.Schemes.Tagged { table; _ } -> Tagging.Tag_table.stats table
+       | _ -> assert false
+     in
+     let missing = List.length viol_full - List.length viol_tagged in
+     if
+       missing <= 0 || ts.Tagging.Tag_table.wrap_masked_passes < missing
+       || not
+            (List.for_all (fun v -> List.mem v viol_full) viol_tagged)
+     then
+       Alcotest.failf
+         "%s: tagged detections differ from shadow without an attributing \
+          wraparound (%d tagged vs %d shadow, %d wrap passes)"
+         ctx (List.length viol_tagged) (List.length viol_full)
+         ts.Tagging.Tag_table.wrap_masked_passes);
   (match bug with
    | No_bug ->
      if viol_full <> [] || viol_static <> [] then
@@ -743,14 +768,24 @@ let oracle_one ~ctx ~expect_elision source bug =
         check_bool (ctx ^ ": native/inferred outputs equal") true
           (a.Minic.Interp.prints = b.Minic.Interp.prints)
       | _ ->
-        Alcotest.failf "%s: correct program failed under inferred pools" ctx)
+        Alcotest.failf "%s: correct program failed under inferred pools" ctx);
+     if viol_tagged <> [] then
+       Alcotest.failf "%s: correct program violated under tagged backend" ctx;
+     (match (out_native, out_tagged) with
+      | Some a, Some b ->
+        check_bool (ctx ^ ": native/tagged outputs equal") true
+          (a.Minic.Interp.prints = b.Minic.Interp.prints)
+      | _ ->
+        Alcotest.failf "%s: correct program failed under tagged backend" ctx)
    | Use_after_release | Must_uaf_bug | Double_free_bug ->
      if viol_full = [] then
        Alcotest.failf "%s: seeded bug not detected under full scheme" ctx;
      if viol_static = [] then
        Alcotest.failf "%s: seeded bug not detected under static elision" ctx;
      if viol_inferred = [] then
-       Alcotest.failf "%s: seeded bug not detected under inferred pools" ctx);
+       Alcotest.failf "%s: seeded bug not detected under inferred pools" ctx;
+     if viol_tagged = [] then
+       Alcotest.failf "%s: seeded bug not detected under tagged backend" ctx);
   (match bug with
    | Must_uaf_bug | Double_free_bug ->
      check_bool (ctx ^ ": lint reports the seeded must bug") true

@@ -123,7 +123,8 @@ let test_in_window_double_free () =
 
 let test_at_retirement_mmu () =
   let m = Machine.create () in
-  let scheme = Runtime.Schemes.shadow_pool_epoch ~max_frees:2 m in
+  let scheme = Runtime.Schemes.shadow_pool_epoch
+      ~config:{ Runtime.Schemes.default_epoch_config with max_frees = 2 } m in
   let p = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
   let q = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
   scheme.Runtime.Scheme.free ~site:"q.c:2" p;
@@ -161,7 +162,8 @@ let test_post_retirement_mmu () =
    retire with a single ranged protect. *)
 let test_retirement_coalesces () =
   let m = Machine.create () in
-  let scheme = Runtime.Schemes.shadow_pool_epoch ~max_frees:8 m in
+  let scheme = Runtime.Schemes.shadow_pool_epoch
+      ~config:{ Runtime.Schemes.default_epoch_config with max_frees = 8 } m in
   let ptrs =
     List.init 8 (fun i ->
         let a = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
@@ -184,10 +186,15 @@ let test_retirement_coalesces () =
 let make_recoverable ?max_frees () =
   let m = Machine.create () in
   let reports = ref [] in
+  let config =
+    match max_frees with
+    | None -> Runtime.Schemes.default_epoch_config
+    | Some max_frees -> { Runtime.Schemes.default_epoch_config with max_frees }
+  in
   let scheme =
     Runtime.Schemes.recoverable
       ~on_report:(fun r -> reports := r :: !reports)
-      (Runtime.Schemes.shadow_pool_epoch ?max_frees m)
+      (Runtime.Schemes.shadow_pool_epoch ~config m)
   in
   (scheme, reports)
 
@@ -265,7 +272,8 @@ let test_split_retry_recovers () =
       ]
   in
   let m = Machine.create ~fault_plan:plan () in
-  let scheme = Runtime.Schemes.shadow_pool_epoch ~max_frees:2 m in
+  let scheme = Runtime.Schemes.shadow_pool_epoch
+      ~config:{ Runtime.Schemes.default_epoch_config with max_frees = 2 } m in
   let p = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
   let q = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
   scheme.Runtime.Scheme.free ~site:"q.c:2" p;
@@ -295,7 +303,8 @@ let test_split_retry_keeps_quarantine () =
       ]
   in
   let m = Machine.create ~fault_plan:plan () in
-  let scheme = Runtime.Schemes.shadow_pool_epoch ~max_frees:2 m in
+  let scheme = Runtime.Schemes.shadow_pool_epoch
+      ~config:{ Runtime.Schemes.default_epoch_config with max_frees = 2 } m in
   let p = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
   let q = scheme.Runtime.Scheme.malloc ~site:"q.c:1" 48 in
   scheme.Runtime.Scheme.free ~site:"q.c:2" p;

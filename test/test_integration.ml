@@ -62,7 +62,7 @@ let schemes : (string * (Machine.t -> Runtime.Scheme.t)) list =
   [
     ("native", Runtime.Schemes.native);
     ("pa", fun m -> Runtime.Schemes.pa m);
-    ("pa+dummy", Runtime.Schemes.pa ~dummy_syscalls:true);
+    ("pa+dummy", Runtime.Schemes.pa ~config:{ Runtime.Schemes.dummy_syscalls = true });
     ("shadow-basic", Runtime.Schemes.shadow_basic);
     ("shadow-pool", fun m -> Runtime.Schemes.shadow_pool m);
     ("efence", fun m -> Baseline.Efence.scheme m);
@@ -188,9 +188,9 @@ let test_efence_vs_ours_memory_on_same_workload () =
   let frames config =
     (Harness.Experiment.run_batch ~scale:60 b config).Harness.Experiment.peak_frames
   in
-  let ours = frames Harness.Experiment.Ours in
-  let efence = frames Harness.Experiment.Efence in
-  let native = frames Harness.Experiment.Native in
+  let ours = frames Harness.Experiment.ours in
+  let efence = frames Harness.Experiment.efence in
+  let native = frames Harness.Experiment.native in
   check_bool
     (Printf.sprintf "ours ~ native physical memory (%d vs %d)" ours native)
     true

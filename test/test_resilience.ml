@@ -185,6 +185,7 @@ let gov_config =
     probe_every = 10;
     cooldown = 6;
     va_soft_budget = max_int;
+    ladder = [];
   }
 
 let tick g = Runtime.Governor.on_alloc g

@@ -24,7 +24,7 @@ let test_native_pool_passthrough () =
 let test_pa_dummy_syscalls () =
   let count_dummies dummy =
     let m = Machine.create () in
-    let s = Runtime.Schemes.pa ~dummy_syscalls:dummy m in
+    let s = Runtime.Schemes.pa ~config:{ Runtime.Schemes.dummy_syscalls = dummy } m in
     let a = s.Runtime.Scheme.malloc 32 in
     s.Runtime.Scheme.free a;
     (Stats.snapshot m.Machine.stats).Stats.syscalls_dummy
@@ -63,7 +63,7 @@ let test_scheme_introspection () =
    | _ -> Alcotest.fail "shadow-pool should expose its pool and recycler");
   let st =
     Runtime.Schemes.shadow_pool_static
-      ~elide:(fun _ -> false)
+      ~config:{ Runtime.Schemes.elide = (fun _ -> false) }
       (Machine.create ())
   in
   (match Runtime.Schemes.introspect st with
